@@ -1,0 +1,65 @@
+"""E1 — "full line-rate traffic generation regardless of packet size
+across the four card ports" (paper §1).
+
+Regenerates: achieved throughput/pps vs frame size, one port and four
+ports, against 10GbE theoretical line rate.
+"""
+
+from conftest import emit, run_once
+
+from repro.analysis import format_table
+from repro.testbed import RFC2544_SIZES, measure_line_rate
+from repro.units import ms
+
+
+def test_e1_line_rate_one_port(benchmark):
+    rows = run_once(
+        benchmark, lambda: measure_line_rate(RFC2544_SIZES, duration_ps=ms(1))
+    )
+    emit(
+        format_table(
+            ["frame B", "theory Mpps", "achieved Mpps", "theory Gbps", "achieved Gbps", "efficiency"],
+            [
+                [
+                    row.frame_size,
+                    round(row.theoretical_pps / 1e6, 3),
+                    round(row.achieved_pps / 1e6, 3),
+                    round(row.theoretical_goodput_bps / 1e9, 3),
+                    round(row.achieved_goodput_bps / 1e9, 3),
+                    f"{row.efficiency:.4f}",
+                ]
+                for row in rows
+            ],
+            title="E1a: line rate vs frame size, 1 port (paper: full line rate at any size)",
+        )
+    )
+    # The paper's claim: line rate regardless of packet size.
+    assert all(row.efficiency > 0.999 for row in rows)
+    # 64B must hit the canonical 14.88 Mpps.
+    assert abs(rows[0].achieved_pps - 14_880_952) < 20_000
+
+
+def test_e1_line_rate_four_ports(benchmark):
+    sizes = [64, 512, 1518]
+    rows = run_once(
+        benchmark, lambda: measure_line_rate(sizes, duration_ps=ms(1), ports=4)
+    )
+    emit(
+        format_table(
+            ["frame B", "ports", "achieved Gbps", "theory Gbps", "efficiency"],
+            [
+                [
+                    row.frame_size,
+                    row.ports,
+                    round(row.achieved_goodput_bps / 1e9, 3),
+                    round(row.theoretical_goodput_bps / 1e9, 3),
+                    f"{row.efficiency:.4f}",
+                ]
+                for row in rows
+            ],
+            title="E1b: aggregate line rate across all four card ports",
+        )
+    )
+    assert all(row.efficiency > 0.999 for row in rows)
+    # Four ports of 1518B frames ≈ 4 × 9.87 Gbps goodput.
+    assert rows[-1].achieved_goodput_bps > 39e9

@@ -1,0 +1,78 @@
+"""Simulator performance: wall-clock cost of simulated line-rate traffic.
+
+Not a paper experiment — a regression guard for the reproduction itself.
+Every experiment above runs through this kernel; if event dispatch or
+the MAC pipeline slows down significantly, these numbers catch it.
+Unlike the single-shot experiment benches, these run multiple rounds so
+pytest-benchmark reports meaningful wall-clock statistics.
+"""
+
+from repro.hw import EthernetPort, connect
+from repro.net import build_udp
+from repro.osnt import OSNT
+from repro.sim import Simulator
+from repro.testbed.workloads import udp_template
+from repro.units import ms
+
+
+def test_perf_raw_event_dispatch(benchmark):
+    """Pure kernel: schedule/fire 50k chained events."""
+
+    def run():
+        sim = Simulator()
+        remaining = [50_000]
+
+        def tick():
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                sim.call_after(100, tick)
+
+        sim.call_after(100, tick)
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(run)
+    assert events == 50_000
+
+
+def test_perf_line_rate_mac_pipeline(benchmark):
+    """MAC + link datapath: 1 ms of 512B line-rate traffic (~2350 frames)."""
+
+    def run():
+        sim = Simulator()
+        a = EthernetPort(sim, "a")
+        b = EthernetPort(sim, "b")
+        connect(a, b)
+        count = [0]
+        b.add_rx_sink(lambda p: count.__setitem__(0, count[0] + 1))
+        from repro.osnt.generator import PortGenerator, TemplateSource
+        from repro.hw import TimestampUnit
+
+        generator = PortGenerator(sim, a, TimestampUnit(sim))
+        generator.configure(TemplateSource(build_udp(frame_size=512)), duration_ps=ms(1))
+        generator.start()
+        sim.run()
+        return count[0]
+
+    frames = benchmark(run)
+    assert frames > 2000
+
+
+def test_perf_full_tester_capture_path(benchmark):
+    """Whole card: generate, timestamp, filter, DMA, host-deliver."""
+
+    def run():
+        sim = Simulator()
+        tester = OSNT(sim)
+        connect(tester.port(0), tester.port(1))
+        monitor = tester.monitor(1)
+        monitor.start_capture(snap_bytes=64)
+        generator = tester.generator(0)
+        generator.load_template(udp_template(512))
+        generator.set_load(0.5).embed_timestamps().for_duration(ms(1))
+        generator.start()
+        sim.run()
+        return monitor.captured_count
+
+    captured = benchmark(run)
+    assert captured > 1000

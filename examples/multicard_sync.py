@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Fleet vision: one-way latency between two GPS-synchronized testers.
+
+The paper closes by envisioning deployments of "hundreds or thousands
+of testers, offering previously unobtainable insights". The key enabling
+property is demonstrated here with two cards: because each card's
+oscillator is disciplined to the same GPS time base, a packet stamped on
+card A and captured on card B yields a *one-way* latency — something a
+single tester, or two unsynchronized testers, cannot measure.
+
+Run:  python examples/multicard_sync.py
+"""
+
+from repro.analysis import print_table
+from repro.testbed import measure_one_way_latency
+
+
+def main() -> None:
+    sample_times = [1, 3, 5, 10]
+    rows = []
+    for gps in (False, True):
+        rows.extend(measure_one_way_latency(gps, sample_times_s=sample_times))
+    print_table(
+        ["GPS", "measured after", "true latency", "measured", "error"],
+        [
+            [
+                "on" if row.gps_enabled else "off",
+                f"{row.measured_after_s} s",
+                f"{row.true_latency_ns:.0f} ns",
+                f"{row.measured_mean_ns:,.0f} ns",
+                f"{row.error_ns:,.0f} ns",
+            ]
+            for row in rows
+        ],
+        title="One-way latency across two tester cards (30 ppm vs -25 ppm clocks)",
+    )
+    print(
+        "Without GPS the two cards' clocks drift apart at 55 ppm: the\n"
+        '"latency" is already off by tens of µs after one second and goes\n'
+        "negative — packets apparently arrive before they left. With GPS\n"
+        "discipline both clocks stay within tens of ns of true time, so\n"
+        "the one-way measurement is accurate to ~10 ns indefinitely.\n"
+        "That property is what makes city- or planet-scale tester fleets\n"
+        "(the paper's closing vision) able to measure real paths."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Demo Part II: OFLOPS-turbo flow-table update measurements.
+
+Runs the two headline OFLOPS-turbo modules against two simulated switch
+firmwares:
+
+* ``spec``  — barrier replies only after table writes commit;
+* ``eager`` — barrier replies as soon as messages are parsed (how many
+  real switches misbehave).
+
+The modules measure the same update through the control plane (barrier)
+and the data plane (OSNT probes timestamped in hardware), exposing the
+gap between what the switch *says* and what it *does* — including stale
+forwarding after the barrier during large table updates.
+
+Run:  python examples/openflow_flowmod_latency.py
+"""
+
+from repro.analysis import print_table
+from repro.devices import SwitchProfile
+from repro.oflops import (
+    FlowModLatencyModule,
+    ForwardingConsistencyModule,
+    ModuleRunner,
+    OflopsContext,
+)
+from repro.units import us
+
+
+def run_mode(barrier_mode: str, n_rules: int = 32):
+    profile = SwitchProfile(
+        barrier_mode=barrier_mode,
+        firmware_delay_ps=us(10),
+        table_write_ps=us(100),
+    )
+    latency = ModuleRunner(OflopsContext(profile=profile)).run(
+        FlowModLatencyModule(n_rules=n_rules)
+    )
+    consistency = ModuleRunner(OflopsContext(profile=profile)).run(
+        ForwardingConsistencyModule(n_rules=n_rules)
+    )
+    return latency, consistency
+
+
+def main() -> None:
+    rows = []
+    consistency_rows = []
+    for mode in ("spec", "eager"):
+        latency, consistency = run_mode(mode)
+        rows.append(
+            [
+                mode,
+                latency["n_rules"],
+                round(latency["control_done_us"], 1),
+                round(latency["first_rule_us"], 1),
+                round(latency["data_done_us"], 1),
+                round(latency["barrier_understates_by_us"], 1),
+            ]
+        )
+        consistency_rows.append(
+            [
+                mode,
+                round(consistency["barrier_latency_us"], 1),
+                consistency["stale_during_update"],
+                consistency["stale_after_barrier"],
+                round(consistency["transition_span_us"], 1),
+            ]
+        )
+    print_table(
+        ["firmware", "rules", "barrier us", "first rule us", "all rules us", "barrier lies by us"],
+        rows,
+        title="Flow-table update latency: control plane vs data plane",
+    )
+    print_table(
+        ["firmware", "barrier us", "stale pkts (update)", "stale pkts (after barrier)", "transition us"],
+        consistency_rows,
+        title="Forwarding consistency during a 32-rule update burst",
+    )
+    print(
+        "The eager firmware acknowledges the barrier before its TCAM "
+        "writes land: rules keep activating (and stale packets keep "
+        "flowing to the old port) long after the control plane claimed "
+        "completion. Only combined control+data measurement — the point "
+        "of OFLOPS-turbo — can see this."
+    )
+
+
+if __name__ == "__main__":
+    main()

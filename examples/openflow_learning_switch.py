@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""An OpenFlow learning switch, end to end over the wire protocol.
+
+Builds the full SDN loop this reproduction models: three hosts attach to
+an OpenFlow switch whose controller (a reactive MAC-learning app) talks
+real OpenFlow 1.0 over a latency-modelled control channel. The first
+packet of each conversation detours through the controller (packet_in →
+flood); once both directions are learned, exact-match rules forward in
+hardware and the controller goes quiet.
+
+Run:  python examples/openflow_learning_switch.py
+"""
+
+from repro.analysis import print_table
+from repro.devices import OpenFlowSwitch, SimpleHost
+from repro.hw import connect
+from repro.net import build_udp
+from repro.openflow import ControlChannel, LearningSwitchController
+from repro.sim import Simulator
+from repro.units import ms, us
+
+
+def main() -> None:
+    sim = Simulator()
+    channel = ControlChannel(sim, latency_ps=us(50))
+    switch = OpenFlowSwitch(sim, channel.switch, num_ports=3)
+    controller = LearningSwitchController(channel.controller)
+
+    hosts = []
+    for index in range(3):
+        host = SimpleHost(
+            sim,
+            f"h{index}",
+            mac=f"02:00:00:00:00:{index + 1:02x}",
+            ip=f"10.0.0.{index + 1}",
+        )
+        connect(host.port, switch.port(index))
+        hosts.append(host)
+    sim.run(until=ms(2))  # handshake
+
+    def send(src, dst, count=1):
+        for __ in range(count):
+            hosts[src].send(
+                build_udp(
+                    frame_size=128,
+                    src_mac=f"02:00:00:00:00:{src + 1:02x}",
+                    dst_mac=f"02:00:00:00:00:{dst + 1:02x}",
+                    src_ip=f"10.0.0.{src + 1}",
+                    dst_ip=f"10.0.0.{dst + 1}",
+                )
+            )
+        sim.run(until=sim.now + ms(4))
+
+    timeline = []
+
+    def snapshot(label):
+        timeline.append(
+            [
+                label,
+                controller.packet_ins_handled,
+                controller.floods,
+                controller.flows_installed,
+                len(switch.table),
+                switch.datapath_hits,
+            ]
+        )
+
+    snapshot("after handshake")
+    send(0, 1)  # unknown: flood
+    snapshot("h0->h1 (first packet)")
+    send(1, 0)  # reverse: rule for h0 installs
+    snapshot("h1->h0 (reply)")
+    send(0, 1)  # rule for h1 installs
+    snapshot("h0->h1 (second)")
+    send(1, 0, count=50)  # established: hardware only
+    snapshot("h1->h0 x50 (established)")
+
+    print_table(
+        ["event", "packet_ins", "floods", "flow_mods", "table size", "hw hits"],
+        timeline,
+        title="Learning-switch control loop (OpenFlow 1.0 over the modelled channel)",
+    )
+    print(
+        "The 50-packet burst raised hardware hits without a single new\n"
+        "packet_in: the reactive rules moved the flow off the controller,\n"
+        "which is precisely the transition OFLOPS-turbo's measurement\n"
+        "modules quantify (install latency, consistency, interference)."
+    )
+
+
+if __name__ == "__main__":
+    main()

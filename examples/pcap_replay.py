@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""PCAP replay with preserved inter-departure timing.
+
+Synthesises a bursty capture file, then replays it through the OSNT
+generator three ways — original timing, 4x speed-up, and flattened to a
+constant rate — and verifies with the monitor's hardware RX timestamps
+that the wire reproduced each profile. This is the OSNT "PCAP replay
+function with a tuneable per-packet inter-departure time".
+
+Run:  python examples/pcap_replay.py
+"""
+
+import os
+import tempfile
+
+from repro.analysis import print_table
+from repro.hw import connect
+from repro.net import PcapRecord, build_udp, write_pcap
+from repro.osnt import OSNT
+from repro.sim import Simulator
+from repro.units import us
+
+
+def synthesize_capture(path: str) -> int:
+    """A bursty trace: 5 bursts of 10 packets, 1 ms apart."""
+    records = []
+    timestamp = 0
+    for burst in range(5):
+        for index in range(10):
+            records.append(
+                PcapRecord(
+                    timestamp_ps=timestamp,
+                    data=build_udp(frame_size=256, dst_port=4000 + burst).data,
+                )
+            )
+            timestamp += us(2)  # 2 µs inside a burst
+        timestamp += us(1000)  # 1 ms between bursts
+    return write_pcap(path, records)
+
+
+def replay(path: str, label: str, **kwargs):
+    sim = Simulator()
+    tester = OSNT(sim)
+    connect(tester.port(0), tester.port(1))
+    monitor = tester.monitor(1)
+    monitor.start_capture()
+    generator = tester.generator(0)
+    generator.load_pcap(path, **kwargs)
+    generator.start()
+    sim.run()
+    stamps = [p.rx_timestamp for p in monitor.packets]
+    gaps = [b - a for a, b in zip(stamps, stamps[1:])]
+    big_gaps = [g for g in gaps if g > us(100)]
+    return [
+        label,
+        len(stamps),
+        f"{(stamps[-1] - stamps[0]) / 1e9:.3f}",
+        len(big_gaps),
+        f"{(sum(big_gaps) / len(big_gaps) / 1e9):.3f}" if big_gaps else "-",
+    ]
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "bursty.pcap")
+        count = synthesize_capture(path)
+        print(f"synthesised {count}-packet bursty capture\n")
+        rows = [
+            replay(path, "original timing"),
+            replay(path, "4x speed-up", speed=4.0),
+            replay(path, "flattened (no timing)", preserve_timing=False),
+            replay(path, "looped 3x", loop=3),
+        ]
+        print_table(
+            ["replay mode", "packets", "span ms", "inter-burst gaps", "mean gap ms"],
+            rows,
+            title="PCAP replay timing fidelity (measured by hardware RX stamps)",
+        )
+        print(
+            "Original timing reproduces the 1 ms burst structure exactly; "
+            "4x replay compresses gaps to ~0.25 ms; flattened replay sends "
+            "back-to-back at line rate (no inter-burst gaps survive)."
+        )
+
+
+if __name__ == "__main__":
+    main()

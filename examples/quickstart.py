@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: generate, capture and measure with OSNT in five minutes.
+
+Wires two ports of the (simulated) OSNT card back-to-back, replays a
+UDP template at half line rate with embedded hardware TX timestamps,
+captures at the other port with hardware RX timestamps, and reports the
+one-way latency — the canonical first OSNT experiment.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import latency_from_capture, print_table
+from repro.hw import connect
+from repro.net import build_udp
+from repro.osnt import OSNT
+from repro.sim import Simulator
+from repro.units import format_rate, ms
+
+
+def main() -> None:
+    # 1. A simulator and a tester card; cable port 0 to port 1.
+    sim = Simulator()
+    tester = OSNT(sim)
+    connect(tester.port(0), tester.port(1))
+
+    # 2. Configure the generator: one 512-byte UDP template, 5 Gbps,
+    #    hardware timestamps embedded in each departing frame.
+    generator = tester.generator(0)
+    generator.load_template(build_udp(frame_size=512))
+    generator.set_rate("5Gbps").embed_timestamps().for_duration(ms(2))
+
+    # 3. Capture everything arriving at port 1.
+    monitor = tester.monitor(1)
+    monitor.start_capture()
+
+    # 4. Run the virtual hardware.
+    generator.start()
+    sim.run()
+
+    # 5. Latency = hardware RX stamp − embedded hardware TX stamp.
+    result = latency_from_capture(monitor.packets)
+    summary = result.summary
+
+    print_table(
+        ["metric", "value"],
+        [
+            ["packets sent", generator.packets_sent],
+            ["packets captured", monitor.captured_count],
+            ["capture drops", monitor.capture_drops],
+            ["achieved rate", format_rate(generator.stats.achieved_bps())],
+            ["latency mean (us)", f"{summary.mean / 1e6:.4f}"],
+            ["latency p99 (us)", f"{summary.p99 / 1e6:.4f}"],
+            ["jitter rfc3550 (ns)", f"{result.jitter_rfc3550_ps / 1e3:.1f}"],
+            ["timestamp resolution (ns)", 6.25],
+        ],
+        title="OSNT loopback quickstart",
+    )
+
+
+if __name__ == "__main__":
+    main()

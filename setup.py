@@ -1,0 +1,7 @@
+"""Setup shim: enables `python setup.py develop` in offline environments
+where the `wheel` package (needed by PEP 660 editable installs) is absent.
+Configuration lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""OSNT reproduction: open-source network tester on a simulated NetFPGA-10G.
+
+Reproduces "Enabling Performance Evaluation Beyond 10 Gbps"
+(Antichi, Rotsos, Moore - SIGCOMM 2015): the OSNT traffic generator and
+monitor, their software control APIs, and the OFLOPS-turbo OpenFlow
+switch evaluation framework - all running on a deterministic
+discrete-event model of the NetFPGA-10G hardware.
+
+Typical entry points:
+
+* :class:`repro.osnt.OSNTDevice` - a four-port tester card.
+* :class:`repro.testbed.Testbed` - tester + device-under-test wiring.
+* :mod:`repro.oflops` - OpenFlow switch measurement modules.
+"""
+
+__version__ = "1.0.0"
+
+# Convenience re-exports of the primary entry points.
+from .sim import Simulator  # noqa: E402
+from .osnt import OSNT  # noqa: E402
+from .hw import connect  # noqa: E402
+
+__all__ = ["OSNT", "Simulator", "__version__", "connect"]

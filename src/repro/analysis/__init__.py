@@ -1,0 +1,40 @@
+"""Measurement analysis: latency extraction, statistics, reports."""
+
+from .flowstats import FlowAccounting, FlowRecord, flows_from_capture, merge_captures
+from .latency import (
+    LatencyResult,
+    LossResult,
+    arrival_jitter_ps,
+    latency_from_capture,
+    loss_from_sequence_numbers,
+)
+from .report import format_microseconds, format_table, print_table
+from .stats import (
+    Histogram,
+    RateEstimator,
+    SummaryStats,
+    gap_jitter_std,
+    percentile,
+    rfc3550_jitter,
+)
+
+__all__ = [
+    "FlowAccounting",
+    "FlowRecord",
+    "Histogram",
+    "LatencyResult",
+    "LossResult",
+    "RateEstimator",
+    "SummaryStats",
+    "arrival_jitter_ps",
+    "flows_from_capture",
+    "format_microseconds",
+    "format_table",
+    "gap_jitter_std",
+    "latency_from_capture",
+    "merge_captures",
+    "loss_from_sequence_numbers",
+    "percentile",
+    "print_table",
+    "rfc3550_jitter",
+]

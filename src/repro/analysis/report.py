@@ -1,0 +1,59 @@
+"""Plain-text tables for benchmark and experiment output."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table (right-aligned numeric cells)."""
+    cells = [[_render(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, text in enumerate(row):
+            widths[index] = max(widths[index], len(text))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for original, row in zip(rows, cells):
+        rendered = []
+        for index, text in enumerate(row):
+            if isinstance(original[index], (int, float)) and not isinstance(
+                original[index], bool
+            ):
+                rendered.append(text.rjust(widths[index]))
+            else:
+                rendered.append(text.ljust(widths[index]))
+        lines.append("  ".join(rendered))
+    return "\n".join(lines)
+
+
+def _render(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        if abs(value) >= 1:
+            return f"{value:.3f}"
+        return f"{value:.6f}"
+    return str(value)
+
+
+def format_microseconds(ps: float) -> str:
+    return f"{ps / 1e6:.3f}"
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> None:
+    print(format_table(headers, rows, title=title))
+    print()

@@ -1,0 +1,173 @@
+"""Summary statistics, jitter and histograms for measurement results."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..errors import ConfigError
+
+
+@dataclass
+class SummaryStats:
+    """Five-number-style summary of a sample set (times in ps)."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    p50: float
+    p90: float
+    p99: float
+    p999: float
+
+    @classmethod
+    def of(cls, samples: Sequence[float]) -> "SummaryStats":
+        if not samples:
+            raise ConfigError("cannot summarise an empty sample set")
+        ordered = sorted(samples)
+        count = len(ordered)
+        mean = sum(ordered) / count
+        variance = sum((x - mean) ** 2 for x in ordered) / count
+        return cls(
+            count=count,
+            mean=mean,
+            std=math.sqrt(variance),
+            minimum=ordered[0],
+            maximum=ordered[-1],
+            p50=percentile(ordered, 50, presorted=True),
+            p90=percentile(ordered, 90, presorted=True),
+            p99=percentile(ordered, 99, presorted=True),
+            p999=percentile(ordered, 99.9, presorted=True),
+        )
+
+
+def percentile(samples: Sequence[float], pct: float, presorted: bool = False) -> float:
+    """Linear-interpolation percentile (inclusive method)."""
+    if not samples:
+        raise ConfigError("cannot take a percentile of nothing")
+    if not 0 <= pct <= 100:
+        raise ConfigError(f"percentile must be in [0, 100], got {pct}")
+    ordered = samples if presorted else sorted(samples)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (len(ordered) - 1) * pct / 100
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return float(ordered[low])
+    weight = rank - low
+    # a + w*(b-a) rather than a*(1-w) + b*w: exact when a == b and never
+    # leaves the [a, b] interval through rounding.
+    return ordered[low] + weight * (ordered[high] - ordered[low])
+
+
+def rfc3550_jitter(transit_times: Sequence[float]) -> float:
+    """Smoothed interarrival jitter, as RTP receivers compute it.
+
+    ``J += (|D(i-1, i)| - J) / 16`` where D is the change in one-way
+    transit time between consecutive packets.
+    """
+    jitter = 0.0
+    for previous, current in zip(transit_times, transit_times[1:]):
+        jitter += (abs(current - previous) - jitter) / 16
+    return jitter
+
+
+def gap_jitter_std(timestamps: Sequence[int]) -> float:
+    """Standard deviation of inter-arrival gaps (pacing jitter)."""
+    gaps = [b - a for a, b in zip(timestamps, timestamps[1:])]
+    if len(gaps) < 2:
+        return 0.0
+    mean = sum(gaps) / len(gaps)
+    return math.sqrt(sum((g - mean) ** 2 for g in gaps) / len(gaps))
+
+
+class Histogram:
+    """Fixed-width-bin histogram with under/overflow buckets."""
+
+    def __init__(self, low: float, high: float, bins: int) -> None:
+        if bins < 1:
+            raise ConfigError("histogram needs at least one bin")
+        if high <= low:
+            raise ConfigError("histogram range must be non-empty")
+        self.low = low
+        self.high = high
+        self.bins = bins
+        self.counts: List[int] = [0] * bins
+        self.underflow = 0
+        self.overflow = 0
+        self.total = 0
+        self._width = (high - low) / bins
+
+    def add(self, value: float) -> None:
+        self.total += 1
+        if value < self.low:
+            self.underflow += 1
+        elif value >= self.high:
+            self.overflow += 1
+        else:
+            self.counts[int((value - self.low) / self._width)] += 1
+
+    def add_all(self, values: Sequence[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    def bin_edges(self) -> List[float]:
+        return [self.low + i * self._width for i in range(self.bins + 1)]
+
+    def nonzero_rows(self) -> List[tuple]:
+        """(low_edge, high_edge, count) for populated bins."""
+        edges = self.bin_edges()
+        return [
+            (edges[i], edges[i + 1], count)
+            for i, count in enumerate(self.counts)
+            if count
+        ]
+
+    def mode_bin(self) -> Optional[tuple]:
+        rows = self.nonzero_rows()
+        if not rows:
+            return None
+        return max(rows, key=lambda row: row[2])
+
+
+class RateEstimator:
+    """Windowed packet/byte rate estimation from (timestamp, size) pairs."""
+
+    def __init__(self, window_ps: int) -> None:
+        if window_ps <= 0:
+            raise ConfigError("rate window must be positive")
+        self.window_ps = window_ps
+        self._samples: List[tuple] = []
+
+    def add(self, timestamp_ps: int, nbytes: int) -> None:
+        self._samples.append((timestamp_ps, nbytes))
+
+    def series(self) -> List[tuple]:
+        """(window_start_ps, packets, bytes, bps) per window."""
+        if not self._samples:
+            return []
+        start = self._samples[0][0]
+        rows = []
+        window_index = 0
+        packets = 0
+        nbytes = 0
+        for timestamp, size in self._samples:
+            index = (timestamp - start) // self.window_ps
+            while index > window_index:
+                rows.append(self._row(start, window_index, packets, nbytes))
+                window_index += 1
+                packets = 0
+                nbytes = 0
+            packets += 1
+            nbytes += size
+        rows.append(self._row(start, window_index, packets, nbytes))
+        return rows
+
+    def _row(self, start: int, index: int, packets: int, nbytes: int) -> tuple:
+        window_start = start + index * self.window_ps
+        bps = nbytes * 8 * 1e12 / self.window_ps
+        return (window_start, packets, nbytes, bps)

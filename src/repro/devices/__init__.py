@@ -1,0 +1,37 @@
+"""Devices under test: legacy switch, OpenFlow switch, hosts, SNMP."""
+
+from .flow_table import FlowEntry, FlowTable, OverlapError, TableFullError
+from .host import SimpleHost
+from .legacy_switch import LegacySwitch, MacTable
+from .openflow_switch import OpenFlowSwitch, PROFILES, SwitchProfile
+from .router import Fib, Route, Router
+from .snmp_agent import (
+    OID_IF_IN_OCTETS,
+    OID_IF_IN_UCAST,
+    OID_IF_OUT_OCTETS,
+    OID_IF_OUT_UCAST,
+    OID_SYS_DESCR,
+    SnmpAgent,
+)
+
+__all__ = [
+    "FlowEntry",
+    "FlowTable",
+    "LegacySwitch",
+    "MacTable",
+    "OID_IF_IN_OCTETS",
+    "OID_IF_IN_UCAST",
+    "OID_IF_OUT_OCTETS",
+    "OID_IF_OUT_UCAST",
+    "OID_SYS_DESCR",
+    "Fib",
+    "OpenFlowSwitch",
+    "PROFILES",
+    "OverlapError",
+    "Route",
+    "Router",
+    "SimpleHost",
+    "SnmpAgent",
+    "SwitchProfile",
+    "TableFullError",
+]

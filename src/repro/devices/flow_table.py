@@ -1,0 +1,255 @@
+"""The OpenFlow switch's flow table.
+
+Lookup follows the 1.0 spec: the highest-priority matching entry wins
+(exact-match entries effectively sort above wildcards because they are
+installed with distinct priorities by controllers; here priority alone
+decides, spec-style). Modification commands implement the ADD / MODIFY /
+MODIFY_STRICT / DELETE / DELETE_STRICT semantics, including overlap
+checking and capacity limits — a full table is how OFLOPS provokes
+``OFPFMFC_ALL_TABLES_FULL`` errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import OpenFlowError
+from ..openflow import constants as ofp
+from ..openflow.actions import Action
+from ..openflow.match import Match
+
+
+@dataclass
+class FlowEntry:
+    match: Match
+    priority: int = 0x8000
+    actions: List[Action] = field(default_factory=list)
+    cookie: int = 0
+    idle_timeout: int = 0
+    hard_timeout: int = 0
+    flags: int = 0
+    installed_at_ps: int = 0
+    last_used_ps: int = 0
+    packet_count: int = 0
+    byte_count: int = 0
+
+    def note_hit(self, now_ps: int, nbytes: int) -> None:
+        self.packet_count += 1
+        self.byte_count += nbytes
+        self.last_used_ps = now_ps
+
+
+class TableFullError(OpenFlowError):
+    """Raised when an ADD hits the capacity limit."""
+
+
+class OverlapError(OpenFlowError):
+    """Raised when CHECK_OVERLAP finds an overlapping same-priority entry."""
+
+
+class FlowTable:
+    """One flow table with bounded capacity."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise OpenFlowError("flow table capacity must be positive")
+        self.capacity = capacity
+        self.entries: List[FlowEntry] = []
+        self.lookups = 0
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # -- datapath ---------------------------------------------------------
+
+    def lookup(self, key: Match, now_ps: int, nbytes: int = 0) -> Optional[FlowEntry]:
+        """Highest-priority entry matching an exact ``key``."""
+        self.lookups += 1
+        best: Optional[FlowEntry] = None
+        for entry in self.entries:
+            if entry.match.matches(key):
+                if best is None or entry.priority > best.priority:
+                    best = entry
+        if best is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+            best.note_hit(now_ps, nbytes)
+        return best
+
+    # -- modification -----------------------------------------------------
+
+    def add(self, entry: FlowEntry, check_overlap: bool = False) -> FlowEntry:
+        """ADD: replace an identical entry, else insert a new one."""
+        if check_overlap:
+            for existing in self.entries:
+                if existing.priority == entry.priority and _overlaps(
+                    existing.match, entry.match
+                ):
+                    raise OverlapError("overlapping entry at equal priority")
+        for index, existing in enumerate(self.entries):
+            if (
+                existing.priority == entry.priority
+                and existing.match.is_strict_equal(entry.match)
+            ):
+                self.entries[index] = entry  # ADD over identical = replace
+                return entry
+        if len(self.entries) >= self.capacity:
+            raise TableFullError(f"flow table full ({self.capacity} entries)")
+        self.entries.append(entry)
+        return entry
+
+    def modify(self, match: Match, priority: int, actions: List[Action], strict: bool) -> int:
+        """MODIFY(_STRICT): rewrite actions of matching entries.
+
+        Returns the number of entries changed (0 means the caller should
+        fall back to an ADD, per the 1.0 spec).
+        """
+        changed = 0
+        for entry in self.entries:
+            if _mod_selects(entry, match, priority, ofp.OFPP_NONE, strict):
+                entry.actions = list(actions)
+                changed += 1
+        return changed
+
+    def delete(
+        self,
+        match: Match,
+        priority: int = 0,
+        out_port: int = ofp.OFPP_NONE,
+        strict: bool = False,
+    ) -> List[FlowEntry]:
+        """DELETE(_STRICT): remove matching entries; returns them."""
+        removed = [
+            entry
+            for entry in self.entries
+            if _mod_selects(entry, match, priority, out_port, strict)
+        ]
+        if removed:
+            self.entries = [entry for entry in self.entries if entry not in removed]
+        return removed
+
+    def expire(self, now_ps: int) -> List[tuple]:
+        """Remove timed-out entries; returns (entry, reason) pairs."""
+        expired = []
+        remaining = []
+        for entry in self.entries:
+            idle_deadline = (
+                entry.last_used_ps + entry.idle_timeout * 10**12
+                if entry.idle_timeout
+                else None
+            )
+            hard_deadline = (
+                entry.installed_at_ps + entry.hard_timeout * 10**12
+                if entry.hard_timeout
+                else None
+            )
+            if hard_deadline is not None and now_ps >= hard_deadline:
+                expired.append((entry, ofp.OFPRR_HARD_TIMEOUT))
+            elif idle_deadline is not None and now_ps >= idle_deadline:
+                expired.append((entry, ofp.OFPRR_IDLE_TIMEOUT))
+            else:
+                remaining.append(entry)
+        self.entries = remaining
+        return expired
+
+
+def _mod_selects(
+    entry: FlowEntry, match: Match, priority: int, out_port: int, strict: bool
+) -> bool:
+    if strict:
+        if entry.priority != priority or not entry.match.is_strict_equal(match):
+            return False
+    else:
+        # Non-strict: the command's match acts as a filter; entries whose
+        # *rule* falls within it are selected. 1.0 uses "more specific
+        # or equal": every field the filter fixes must be fixed equal in
+        # the entry.
+        if not _subsumes(match, entry.match):
+            return False
+    if out_port != ofp.OFPP_NONE:
+        from ..openflow.actions import OutputAction
+
+        if not any(
+            isinstance(action, OutputAction) and action.port == out_port
+            for action in entry.actions
+        ):
+            return False
+    return True
+
+
+def _subsumes(filter_match: Match, entry_match: Match) -> bool:
+    """True if every constraint of ``filter_match`` holds for the entry."""
+    simple = [
+        (ofp.OFPFW_IN_PORT, "in_port"),
+        (ofp.OFPFW_DL_SRC, "dl_src"),
+        (ofp.OFPFW_DL_DST, "dl_dst"),
+        (ofp.OFPFW_DL_VLAN, "dl_vlan"),
+        (ofp.OFPFW_DL_VLAN_PCP, "dl_vlan_pcp"),
+        (ofp.OFPFW_DL_TYPE, "dl_type"),
+        (ofp.OFPFW_NW_TOS, "nw_tos"),
+        (ofp.OFPFW_NW_PROTO, "nw_proto"),
+        (ofp.OFPFW_TP_SRC, "tp_src"),
+        (ofp.OFPFW_TP_DST, "tp_dst"),
+    ]
+    for bit, name in simple:
+        if not filter_match.wildcards & bit:
+            if entry_match.wildcards & bit:
+                return False
+            if getattr(filter_match, name) != getattr(entry_match, name):
+                return False
+    for which in ("src", "dst"):
+        filter_len = getattr(filter_match, f"nw_{which}_prefix_len")
+        entry_len = getattr(entry_match, f"nw_{which}_prefix_len")
+        if filter_len:
+            if entry_len < filter_len:
+                return False
+            from ..net.fields import ipv4_to_int
+
+            mask = ((1 << filter_len) - 1) << (32 - filter_len)
+            filter_ip = ipv4_to_int(getattr(filter_match, f"nw_{which}"))
+            entry_ip = ipv4_to_int(getattr(entry_match, f"nw_{which}"))
+            if (filter_ip & mask) != (entry_ip & mask):
+                return False
+    return True
+
+
+def _overlaps(first: Match, second: Match) -> bool:
+    """Two matches overlap if some packet could match both.
+
+    Conservative field-by-field check: they overlap unless some field is
+    fixed to different values in both.
+    """
+    simple = [
+        (ofp.OFPFW_IN_PORT, "in_port"),
+        (ofp.OFPFW_DL_SRC, "dl_src"),
+        (ofp.OFPFW_DL_DST, "dl_dst"),
+        (ofp.OFPFW_DL_VLAN, "dl_vlan"),
+        (ofp.OFPFW_DL_VLAN_PCP, "dl_vlan_pcp"),
+        (ofp.OFPFW_DL_TYPE, "dl_type"),
+        (ofp.OFPFW_NW_TOS, "nw_tos"),
+        (ofp.OFPFW_NW_PROTO, "nw_proto"),
+        (ofp.OFPFW_TP_SRC, "tp_src"),
+        (ofp.OFPFW_TP_DST, "tp_dst"),
+    ]
+    for bit, name in simple:
+        if not first.wildcards & bit and not second.wildcards & bit:
+            if getattr(first, name) != getattr(second, name):
+                return False
+    from ..net.fields import ipv4_to_int
+
+    for which in ("src", "dst"):
+        common = min(
+            getattr(first, f"nw_{which}_prefix_len"),
+            getattr(second, f"nw_{which}_prefix_len"),
+        )
+        if common:
+            mask = ((1 << common) - 1) << (32 - common)
+            if (ipv4_to_int(getattr(first, f"nw_{which}")) & mask) != (
+                ipv4_to_int(getattr(second, f"nw_{which}")) & mask
+            ):
+                return False
+    return True

@@ -1,0 +1,93 @@
+"""A simple end host: answers ARP and ICMP echo, counts everything else.
+
+Used by examples to build realistic topologies (hosts behind a switch)
+and by tests as a traffic sink that actually behaves like an IP node.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..hw.port import EthernetPort
+from ..net.arp import OP_REPLY, OP_REQUEST, ArpPacket
+from ..net.builder import _frame  # module-internal helper reused deliberately
+from ..net.ethernet import ETHERTYPE_ARP
+from ..net.icmp import IcmpHeader, TYPE_ECHO_REPLY, TYPE_ECHO_REQUEST
+from ..net.ipv4 import Ipv4Header, PROTO_ICMP
+from ..net.packet import Packet
+from ..net.parser import decode
+from ..sim import Simulator
+from ..units import TEN_GBPS, us
+
+
+class SimpleHost:
+    """One NIC, one IP; replies to ARP who-has and ICMP echo."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        mac: str,
+        ip: str,
+        rate_bps: float = TEN_GBPS,
+        reply_delay_ps: int = us(5),  # kernel stack turnaround
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.mac = mac
+        self.ip = ip
+        self.reply_delay_ps = reply_delay_ps
+        self.port = EthernetPort(sim, f"{name}.eth0", rate_bps=rate_bps)
+        self.port.add_rx_sink(self._on_frame)
+        self.received: List[Packet] = []
+        self.arp_replies = 0
+        self.echo_replies = 0
+
+    def _on_frame(self, packet: Packet) -> None:
+        decoded = decode(packet.data)
+        if decoded.arp is not None and decoded.arp.operation == OP_REQUEST:
+            if decoded.arp.target_ip == self.ip:
+                self.sim.call_after(self.reply_delay_ps, self._send_arp_reply, decoded)
+            return
+        if (
+            decoded.icmp is not None
+            and decoded.icmp.type == TYPE_ECHO_REQUEST
+            and decoded.ipv4 is not None
+            and decoded.ipv4.dst == self.ip
+        ):
+            self.sim.call_after(
+                self.reply_delay_ps, self._send_echo_reply, decoded, packet.data
+            )
+            return
+        self.received.append(packet)
+
+    def _send_arp_reply(self, request) -> None:
+        reply = ArpPacket(
+            operation=OP_REPLY,
+            sender_mac=self.mac,
+            sender_ip=self.ip,
+            target_mac=request.arp.sender_mac,
+            target_ip=request.arp.sender_ip,
+        )
+        frame = _frame(self.mac, request.arp.sender_mac, ETHERTYPE_ARP, reply.pack(), None)
+        self.port.send(frame)
+        self.arp_replies += 1
+
+    def _send_echo_reply(self, request, original: bytes) -> None:
+        echo = IcmpHeader(
+            type=TYPE_ECHO_REPLY,
+            identifier=request.icmp.identifier,
+            sequence=request.icmp.sequence,
+        )
+        payload = original[request.payload_offset :]
+        message = echo.pack(payload)
+        ip = Ipv4Header(src=self.ip, dst=request.ipv4.src, protocol=PROTO_ICMP)
+        network = ip.pack(len(message)) + message
+        from ..net.ethernet import ETHERTYPE_IPV4
+
+        frame = _frame(self.mac, request.ethernet.src, ETHERTYPE_IPV4, network, None)
+        self.port.send(frame)
+        self.echo_replies += 1
+
+    def send(self, packet: Packet) -> bool:
+        return self.port.send(packet)

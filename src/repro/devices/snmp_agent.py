@@ -1,0 +1,114 @@
+"""A minimal SNMP agent — OFLOPS-turbo's third measurement channel.
+
+Real OFLOPS polls switch interface counters (IF-MIB ifTable) over SNMP
+to cross-check data-plane observations. The model exposes the same
+counters (in/out packets and octets per interface) backed directly by
+the switch's MAC statistics, served over a request/response channel with
+management-network latency and agent processing delay.
+
+OIDs use the standard dotted string form, e.g.
+``1.3.6.1.2.1.2.2.1.11.2`` = ifInUcastPkts of interface 2 (1-based).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+from ..errors import SnmpError
+from ..hw.port import EthernetPort
+from ..sim import Simulator
+from ..units import ms, us
+
+OID_IF_IN_OCTETS = "1.3.6.1.2.1.2.2.1.10"
+OID_IF_IN_UCAST = "1.3.6.1.2.1.2.2.1.11"
+OID_IF_OUT_OCTETS = "1.3.6.1.2.1.2.2.1.16"
+OID_IF_OUT_UCAST = "1.3.6.1.2.1.2.2.1.17"
+OID_SYS_DESCR = "1.3.6.1.2.1.1.1.0"
+
+
+class SnmpAgent:
+    """Serves counter OIDs for a set of device ports."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        ports: Sequence[EthernetPort],
+        sys_descr: str = "repro switch",
+        request_latency_ps: int = us(200),
+        processing_ps: int = ms(1),
+    ) -> None:
+        self.sim = sim
+        self.ports = list(ports)
+        self.sys_descr = sys_descr
+        self.request_latency_ps = request_latency_ps
+        self.processing_ps = processing_ps
+        self.requests_served = 0
+
+    # -- synchronous value lookup (no timing) -------------------------------
+
+    def read(self, oid: str):
+        """Immediate value of an OID (agent-side view)."""
+        if oid == OID_SYS_DESCR:
+            return self.sys_descr
+        for prefix, reader in self._counter_readers().items():
+            if oid.startswith(prefix + "."):
+                index = oid[len(prefix) + 1 :]
+                if not index.isdigit():
+                    raise SnmpError(f"bad interface index in OID {oid}")
+                port_number = int(index)
+                if not 1 <= port_number <= len(self.ports):
+                    raise SnmpError(f"no such interface {port_number}")
+                return reader(self.ports[port_number - 1])
+        raise SnmpError(f"no such OID {oid}")
+
+    def _counter_readers(self) -> Dict[str, Callable[[EthernetPort], int]]:
+        return {
+            OID_IF_IN_OCTETS: lambda p: p.rx.stats.bytes,
+            OID_IF_IN_UCAST: lambda p: p.rx.stats.packets,
+            OID_IF_OUT_OCTETS: lambda p: p.tx.stats.bytes,
+            OID_IF_OUT_UCAST: lambda p: p.tx.stats.packets,
+        }
+
+    # -- timed request/response ---------------------------------------------
+
+    def get(self, oid: str, callback: Callable[[str, object], None]) -> None:
+        """Async GET: callback(oid, value) after network + agent delays.
+
+        The value is sampled when the agent *processes* the request (one
+        network latency plus the processing delay after the call), not
+        when the response arrives — just like a real polled counter.
+        """
+        self.sim.call_after(
+            self.request_latency_ps + self.processing_ps,
+            self._serve,
+            oid,
+            callback,
+        )
+
+    def _serve(self, oid: str, callback: Callable[[str, object], None]) -> None:
+        try:
+            value = self.read(oid)
+        except SnmpError:
+            value = None
+        self.requests_served += 1
+        self.sim.call_after(self.request_latency_ps, callback, oid, value)
+
+    def get_many(
+        self, oids: Sequence[str], callback: Callable[[Dict[str, object]], None]
+    ) -> None:
+        """Async GET of several OIDs in one request (like GetBulk)."""
+        results: Dict[str, object] = {}
+        remaining = len(oids)
+        if remaining == 0:
+            self.sim.call_after(0, callback, results)
+            return
+
+        def collect(oid: str, value: object) -> None:
+            nonlocal remaining
+            results[oid] = value
+            remaining -= 1
+            if remaining == 0:
+                callback(results)
+
+        for oid in oids:
+            self.get(oid, collect)

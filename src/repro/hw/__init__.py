@@ -1,0 +1,32 @@
+"""NetFPGA-10G hardware substrate: MACs, links, DMA, clocks, registers."""
+
+from .dma import DmaEngine, DmaStats
+from .fifo import ByteFifo
+from .mac import MacStats, RxMac, TxMac
+from .oscillator import GpsDiscipline, Oscillator
+from .port import DEFAULT_PROPAGATION_PS, EthernetPort, Link, connect
+from .registers import AxiLiteBus, Register, RegisterFile
+from .timestamp import FRACTION_SCALE, TICK_PS, TimestampUnit, ps_to_raw, raw_to_ps
+
+__all__ = [
+    "AxiLiteBus",
+    "ByteFifo",
+    "DEFAULT_PROPAGATION_PS",
+    "DmaEngine",
+    "DmaStats",
+    "EthernetPort",
+    "FRACTION_SCALE",
+    "GpsDiscipline",
+    "Link",
+    "MacStats",
+    "Oscillator",
+    "Register",
+    "RegisterFile",
+    "RxMac",
+    "TICK_PS",
+    "TimestampUnit",
+    "TxMac",
+    "connect",
+    "ps_to_raw",
+    "raw_to_ps",
+]

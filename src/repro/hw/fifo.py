@@ -1,0 +1,65 @@
+"""Byte-bounded packet FIFOs (the model for BRAM/SRAM queues).
+
+Used for MAC transmit queues, switch output queues and the monitor's
+capture buffer. Capacity is in bytes — matching how real buffer memory
+fills — and overflow policy is tail-drop with a counter, which is what
+both the NetFPGA queues and typical switch ASIC queues do.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from ..errors import ConfigError
+from ..net.packet import Packet
+
+
+class ByteFifo:
+    """Tail-drop FIFO bounded by total buffered frame bytes."""
+
+    def __init__(self, capacity_bytes: int, name: str = "fifo") -> None:
+        if capacity_bytes <= 0:
+            raise ConfigError(f"{name}: capacity must be positive")
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self._queue: Deque[Packet] = deque()
+        self.occupancy_bytes = 0
+        self.enqueued = 0
+        self.dropped = 0
+        self.peak_occupancy_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def push(self, packet: Packet) -> bool:
+        """Queue a packet; returns False (and counts a drop) on overflow."""
+        size = packet.frame_length
+        if self.occupancy_bytes + size > self.capacity_bytes:
+            self.dropped += 1
+            return False
+        self._queue.append(packet)
+        self.occupancy_bytes += size
+        self.enqueued += 1
+        if self.occupancy_bytes > self.peak_occupancy_bytes:
+            self.peak_occupancy_bytes = self.occupancy_bytes
+        return True
+
+    def pop(self) -> Optional[Packet]:
+        """Dequeue the oldest packet, or ``None`` when empty."""
+        if not self._queue:
+            return None
+        packet = self._queue.popleft()
+        self.occupancy_bytes -= packet.frame_length
+        return packet
+
+    def peek(self) -> Optional[Packet]:
+        return self._queue[0] if self._queue else None
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._queue
+
+    def clear(self) -> None:
+        self._queue.clear()
+        self.occupancy_bytes = 0

@@ -1,0 +1,130 @@
+"""10GbE MAC models.
+
+The transmit MAC serializes one frame at a time at the configured line
+rate, accounting for preamble, FCS, minimum-frame padding and the
+inter-frame gap — this is where "full line rate regardless of packet
+size" becomes a modelled property rather than an assumption. The receive
+MAC delivers frames to its sink at last-bit arrival (store-and-forward),
+which is also the instant the OSNT monitor timestamps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..net.packet import Packet
+from ..sim import Simulator
+from ..units import (
+    ETH_PREAMBLE_BYTES,
+    TEN_GBPS,
+    frame_wire_bytes,
+    wire_time_ps,
+)
+
+
+@dataclass
+class MacStats:
+    """Counters kept by each MAC direction."""
+
+    packets: int = 0
+    bytes: int = 0  # frame bytes incl. FCS (what rate maths use)
+    errors: int = 0
+    #: Time the serializer was busy (TX only), for utilisation maths.
+    busy_ps: int = 0
+    first_activity_ps: Optional[int] = None
+    last_activity_ps: Optional[int] = None
+
+    def note(self, now: int, frame_bytes: int) -> None:
+        self.packets += 1
+        self.bytes += frame_bytes
+        if self.first_activity_ps is None:
+            self.first_activity_ps = now
+        self.last_activity_ps = now
+
+
+class TxMac:
+    """Serializing transmit MAC with a byte-bounded staging FIFO."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "tx",
+        rate_bps: float = TEN_GBPS,
+        fifo_bytes: int = 512 * 1024,
+    ) -> None:
+        from .fifo import ByteFifo
+
+        self.sim = sim
+        self.name = name
+        self.rate_bps = rate_bps
+        self.fifo = ByteFifo(fifo_bytes, name=f"{name}.fifo")
+        self.stats = MacStats()
+        self._busy = False
+        #: Called with the packet at start of serialization — the point
+        #: "just before the transmit MAC" where OSNT embeds timestamps.
+        self.on_start_of_frame: Optional[Callable[[Packet], None]] = None
+        #: Wired by the Link: (packet) -> None, invoked at last-bit
+        #: arrival on the peer (serialization + propagation later).
+        self._deliver: Optional[Callable[[Packet], None]] = None
+        self._delivery_delay_ps = 0
+
+    def attach_delivery(self, deliver: Callable[[Packet], None], propagation_ps: int) -> None:
+        self._deliver = deliver
+        self._delivery_delay_ps = propagation_ps
+
+    @property
+    def connected(self) -> bool:
+        return self._deliver is not None
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Stage a frame for transmission; False if the FIFO tail-drops."""
+        if not self.fifo.push(packet):
+            return False
+        if not self._busy:
+            self._start_next()
+        return True
+
+    def _start_next(self) -> None:
+        packet = self.fifo.pop()
+        if packet is None:
+            self._busy = False
+            return
+        self._busy = True
+        if self.on_start_of_frame is not None:
+            self.on_start_of_frame(packet)
+        frame_len = packet.frame_length
+        # Last bit leaves after preamble + padded frame; the IFG only
+        # gates when the *next* frame may start.
+        preamble_and_frame = ETH_PREAMBLE_BYTES + max(frame_len, 64)
+        serialize_ps = wire_time_ps(preamble_and_frame, self.rate_bps)
+        slot_ps = wire_time_ps(frame_wire_bytes(frame_len), self.rate_bps)
+        now = self.sim.now
+        self.stats.note(now, frame_len)
+        self.stats.busy_ps += slot_ps
+        if self._deliver is not None:
+            self.sim.call_after(serialize_ps + self._delivery_delay_ps, self._deliver, packet)
+        self.sim.call_after(slot_ps, self._start_next)
+
+    @property
+    def idle(self) -> bool:
+        return not self._busy and self.fifo.is_empty
+
+
+class RxMac:
+    """Receive MAC: fans a delivered frame out to registered sinks."""
+
+    def __init__(self, sim: Simulator, name: str = "rx") -> None:
+        self.sim = sim
+        self.name = name
+        self.stats = MacStats()
+        self._sinks: List[Callable[[Packet], None]] = []
+
+    def add_sink(self, sink: Callable[[Packet], None]) -> None:
+        """Register a callback invoked at last-bit arrival of each frame."""
+        self._sinks.append(sink)
+
+    def receive(self, packet: Packet) -> None:
+        self.stats.note(self.sim.now, packet.frame_length)
+        for sink in self._sinks:
+            sink(packet)

@@ -1,0 +1,117 @@
+"""Full-duplex Ethernet ports and the links that join them."""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from ..errors import LinkError
+from ..net.packet import Packet
+from ..sim import Simulator
+from ..units import TEN_GBPS, ns
+from .mac import RxMac, TxMac
+
+#: Default propagation delay: ~1 m of fibre.
+DEFAULT_PROPAGATION_PS = ns(5)
+
+
+class EthernetPort:
+    """A full-duplex port: one :class:`TxMac` plus one :class:`RxMac`."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        rate_bps: float = TEN_GBPS,
+        tx_fifo_bytes: int = 512 * 1024,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.rate_bps = rate_bps
+        self.tx = TxMac(sim, name=f"{name}.tx", rate_bps=rate_bps, fifo_bytes=tx_fifo_bytes)
+        self.rx = RxMac(sim, name=f"{name}.rx")
+        self.link: Optional["Link"] = None
+
+    def send(self, packet: Packet) -> bool:
+        """Transmit a frame out this port (False on TX FIFO drop)."""
+        return self.tx.enqueue(packet)
+
+    def add_rx_sink(self, sink: Callable[[Packet], None]) -> None:
+        self.rx.add_sink(sink)
+
+    @property
+    def connected(self) -> bool:
+        return self.link is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        peer = self.link.peer_of(self).name if self.link else None
+        return f"<EthernetPort {self.name} peer={peer}>"
+
+
+class Link:
+    """A bidirectional point-to-point cable between two ports.
+
+    ``bit_error_rate`` models an impaired link: each frame is corrupted
+    with probability ``1 - (1 - BER)^bits``; corrupted frames fail the
+    FCS check at the receiving MAC and are dropped there, counted in
+    ``rx.stats.errors`` — how a real tester observes a dirty fibre.
+    """
+
+    def __init__(
+        self,
+        port_a: EthernetPort,
+        port_b: EthernetPort,
+        propagation_ps: int = DEFAULT_PROPAGATION_PS,
+        bit_error_rate: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if port_a.connected or port_b.connected:
+            raise LinkError(
+                f"cannot link {port_a.name} and {port_b.name}: a port is already connected"
+            )
+        if port_a is port_b:
+            raise LinkError("cannot link a port to itself")
+        if not 0.0 <= bit_error_rate < 1.0:
+            raise LinkError(f"bit error rate must be in [0, 1), got {bit_error_rate}")
+        self.port_a = port_a
+        self.port_b = port_b
+        self.propagation_ps = propagation_ps
+        self.bit_error_rate = bit_error_rate
+        self._rng = rng or random.Random(0)
+        self.frames_corrupted = 0
+        port_a.tx.attach_delivery(self._make_deliver(port_b), propagation_ps)
+        port_b.tx.attach_delivery(self._make_deliver(port_a), propagation_ps)
+        port_a.link = self
+        port_b.link = self
+
+    def _make_deliver(self, destination: EthernetPort) -> Callable[[Packet], None]:
+        if self.bit_error_rate == 0.0:
+            return destination.rx.receive
+
+        def deliver(packet: Packet) -> None:
+            bits = packet.frame_length * 8
+            if self._rng.random() < 1.0 - (1.0 - self.bit_error_rate) ** bits:
+                self.frames_corrupted += 1
+                destination.rx.stats.errors += 1
+                return  # FCS check fails; the MAC never delivers it
+            destination.rx.receive(packet)
+
+        return deliver
+
+    def peer_of(self, port: EthernetPort) -> EthernetPort:
+        if port is self.port_a:
+            return self.port_b
+        if port is self.port_b:
+            return self.port_a
+        raise LinkError(f"port {port.name} is not on this link")
+
+
+def connect(
+    port_a: EthernetPort,
+    port_b: EthernetPort,
+    propagation_ps: int = DEFAULT_PROPAGATION_PS,
+    bit_error_rate: float = 0.0,
+    rng: Optional[random.Random] = None,
+) -> Link:
+    """Join two ports with a cable; returns the :class:`Link`."""
+    return Link(port_a, port_b, propagation_ps, bit_error_rate=bit_error_rate, rng=rng)

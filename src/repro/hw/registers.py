@@ -1,0 +1,145 @@
+"""Hardware register files and the AXI-Lite control bus.
+
+OSNT's software API drives the FPGA design through memory-mapped 32-bit
+registers. The model keeps that structure: each hardware block exposes a
+:class:`RegisterFile`, the blocks are attached to an :class:`AxiLiteBus`
+at their base addresses, and the software layer (``repro.osnt.api``)
+reads and writes through the bus — so the control path mirrors the real
+driver rather than poking Python attributes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import RegisterError
+
+MASK32 = 0xFFFFFFFF
+
+
+class Register:
+    """One 32-bit register: a value plus optional read/write hooks."""
+
+    def __init__(
+        self,
+        name: str,
+        offset: int,
+        reset: int = 0,
+        readable: bool = True,
+        writable: bool = True,
+        on_write: Optional[Callable[[int], None]] = None,
+        on_read: Optional[Callable[[], int]] = None,
+    ) -> None:
+        if offset % 4:
+            raise RegisterError(f"register {name!r} offset {offset:#x} not word aligned")
+        self.name = name
+        self.offset = offset
+        self.reset = reset & MASK32
+        self.readable = readable
+        self.writable = writable
+        self.on_write = on_write
+        self.on_read = on_read
+        self.value = self.reset
+
+    def read(self) -> int:
+        if not self.readable:
+            raise RegisterError(f"register {self.name!r} is write-only")
+        if self.on_read is not None:
+            self.value = self.on_read() & MASK32
+        return self.value
+
+    def write(self, value: int) -> None:
+        if not self.writable:
+            raise RegisterError(f"register {self.name!r} is read-only")
+        if not 0 <= value <= MASK32:
+            raise RegisterError(f"value {value:#x} does not fit in 32 bits")
+        self.value = value
+        if self.on_write is not None:
+            self.on_write(value)
+
+
+class RegisterFile:
+    """The register map of one hardware block."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._by_offset: Dict[int, Register] = {}
+        self._by_name: Dict[str, Register] = {}
+
+    def add(self, name: str, offset: int, **kwargs) -> Register:
+        """Define a register; offsets and names must be unique."""
+        register = Register(name, offset, **kwargs)
+        if offset in self._by_offset:
+            raise RegisterError(f"{self.name}: offset {offset:#x} already in use")
+        if name in self._by_name:
+            raise RegisterError(f"{self.name}: register {name!r} already defined")
+        self._by_offset[offset] = register
+        self._by_name[name] = register
+        return register
+
+    def register(self, name: str) -> Register:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise RegisterError(f"{self.name}: no register named {name!r}") from None
+
+    def read(self, offset: int) -> int:
+        return self._lookup(offset).read()
+
+    def write(self, offset: int, value: int) -> None:
+        self._lookup(offset).write(value)
+
+    def read_by_name(self, name: str) -> int:
+        return self.register(name).read()
+
+    def write_by_name(self, name: str, value: int) -> None:
+        self.register(name).write(value)
+
+    def _lookup(self, offset: int) -> Register:
+        try:
+            return self._by_offset[offset]
+        except KeyError:
+            raise RegisterError(
+                f"{self.name}: no register at offset {offset:#x}"
+            ) from None
+
+    def reset_all(self) -> None:
+        for register in self._by_offset.values():
+            register.value = register.reset
+
+    def dump(self) -> Dict[str, int]:
+        """Snapshot of raw values (no read hooks) for debugging."""
+        return {name: reg.value for name, reg in self._by_name.items()}
+
+
+class AxiLiteBus:
+    """Routes 32-bit reads/writes to register files by address range."""
+
+    def __init__(self) -> None:
+        self._windows: List[Tuple[int, int, RegisterFile]] = []
+
+    def attach(self, base: int, size: int, regfile: RegisterFile) -> None:
+        """Map ``regfile`` at ``[base, base+size)``; ranges must not overlap."""
+        end = base + size
+        for other_base, other_end, other in self._windows:
+            if base < other_end and other_base < end:
+                raise RegisterError(
+                    f"window {base:#x}-{end:#x} overlaps {other.name} "
+                    f"at {other_base:#x}-{other_end:#x}"
+                )
+        self._windows.append((base, end, regfile))
+        self._windows.sort()
+
+    def _route(self, address: int) -> Tuple[RegisterFile, int]:
+        for base, end, regfile in self._windows:
+            if base <= address < end:
+                return regfile, address - base
+        raise RegisterError(f"bus error: no block at address {address:#x}")
+
+    def read32(self, address: int) -> int:
+        regfile, offset = self._route(address)
+        return regfile.read(offset)
+
+    def write32(self, address: int, value: int) -> None:
+        regfile, offset = self._route(address)
+        regfile.write(offset, value)

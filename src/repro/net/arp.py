@@ -1,0 +1,57 @@
+"""ARP (IPv4 over Ethernet) build and parse."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import PacketError, TruncatedPacketError
+from .fields import (
+    ipv4_to_bytes,
+    ipv4_to_str,
+    mac_to_bytes,
+    mac_to_str,
+    read_u16,
+    read_u32,
+    u16,
+)
+
+ARP_LEN = 28
+OP_REQUEST = 1
+OP_REPLY = 2
+
+
+@dataclass
+class ArpPacket:
+    operation: int
+    sender_mac: str
+    sender_ip: str
+    target_mac: str
+    target_ip: str
+
+    def pack(self) -> bytes:
+        return (
+            u16(1)  # hardware type: Ethernet
+            + u16(0x0800)  # protocol type: IPv4
+            + bytes([6, 4])  # address lengths
+            + u16(self.operation)
+            + mac_to_bytes(self.sender_mac)
+            + ipv4_to_bytes(self.sender_ip)
+            + mac_to_bytes(self.target_mac)
+            + ipv4_to_bytes(self.target_ip)
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes, offset: int) -> Tuple["ArpPacket", int]:
+        if offset + ARP_LEN > len(data):
+            raise TruncatedPacketError("ARP packet truncated")
+        if read_u16(data, offset) != 1 or read_u16(data, offset + 2) != 0x0800:
+            raise PacketError("only Ethernet/IPv4 ARP is supported")
+        packet = cls(
+            operation=read_u16(data, offset + 6),
+            sender_mac=mac_to_str(data[offset + 8 : offset + 14]),
+            sender_ip=ipv4_to_str(read_u32(data, offset + 14)),
+            target_mac=mac_to_str(data[offset + 18 : offset + 24]),
+            target_ip=ipv4_to_str(read_u32(data, offset + 24)),
+        )
+        return packet, offset + ARP_LEN

@@ -1,0 +1,183 @@
+"""High-level packet construction for test traffic.
+
+These helpers produce complete, checksummed frames sized exactly as
+requested — the tester sweeps frame sizes, so ``frame_size`` (wire size
+**including** FCS, matching how test equipment quotes sizes: a "64-byte
+packet" is the minimum Ethernet frame) is the primary knob.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import PacketError
+from ..units import ETH_FCS_BYTES, ETH_MAX_FRAME, ETH_MIN_FRAME
+from .arp import ArpPacket
+from .ethernet import (
+    ETHERTYPE_ARP,
+    ETHERTYPE_IPV4,
+    ETHERTYPE_IPV6,
+    ETHERTYPE_VLAN,
+    EthernetHeader,
+    VlanTag,
+)
+from .fields import ipv4_to_bytes
+from .icmp import IcmpHeader, TYPE_ECHO_REQUEST
+from .ipv4 import PROTO_ICMP, PROTO_TCP, PROTO_UDP, Ipv4Header
+from .packet import Packet
+from .tcp import TcpHeader
+from .udp import UdpHeader
+
+#: Default addresses used by examples/benchmarks when not specified.
+DEFAULT_SRC_MAC = "02:00:00:00:00:01"
+DEFAULT_DST_MAC = "02:00:00:00:00:02"
+DEFAULT_SRC_IP = "10.0.0.1"
+DEFAULT_DST_IP = "10.0.0.2"
+
+# Headers: 14 (eth) + 20 (ipv4) + 8 (udp) + 4 (fcs) = 46 bytes, so the
+# smallest legal UDP test frame carries 18 payload bytes at 64 wire bytes.
+_UDP_MIN_WIRE = 14 + 20 + 8 + ETH_FCS_BYTES
+
+
+def _payload_for(frame_size: int, header_bytes: int, fill: bytes) -> bytes:
+    """Payload bytes needed to hit ``frame_size`` wire bytes exactly."""
+    if not ETH_MIN_FRAME <= frame_size <= ETH_MAX_FRAME:
+        raise PacketError(
+            f"frame_size {frame_size} outside [{ETH_MIN_FRAME}, {ETH_MAX_FRAME}]"
+        )
+    payload_len = frame_size - header_bytes - ETH_FCS_BYTES
+    if payload_len < 0:
+        raise PacketError(
+            f"frame_size {frame_size} too small for {header_bytes} header bytes"
+        )
+    if not fill:
+        fill = b"\x00"
+    repeats = payload_len // len(fill) + 1
+    return (fill * repeats)[:payload_len]
+
+
+def build_udp(
+    frame_size: int = ETH_MIN_FRAME,
+    src_mac: str = DEFAULT_SRC_MAC,
+    dst_mac: str = DEFAULT_DST_MAC,
+    src_ip: str = DEFAULT_SRC_IP,
+    dst_ip: str = DEFAULT_DST_IP,
+    src_port: int = 5000,
+    dst_port: int = 5001,
+    payload: Optional[bytes] = None,
+    fill: bytes = b"\x00",
+    vlan: Optional[int] = None,
+    ttl: int = 64,
+) -> Packet:
+    """Build a UDP/IPv4/Ethernet frame of exactly ``frame_size`` wire bytes.
+
+    If ``payload`` is given it is used verbatim and ``frame_size`` is
+    ignored; otherwise the payload is synthesised from ``fill``.
+    """
+    vlan_bytes = 4 if vlan is not None else 0
+    if payload is None:
+        payload = _payload_for(frame_size, 14 + vlan_bytes + 20 + 8, fill)
+    udp = UdpHeader(src_port=src_port, dst_port=dst_port)
+    segment = udp.pack(payload, ipv4_to_bytes(src_ip), ipv4_to_bytes(dst_ip))
+    ip = Ipv4Header(src=src_ip, dst=dst_ip, protocol=PROTO_UDP, ttl=ttl)
+    network = ip.pack(len(segment)) + segment
+    return _frame(src_mac, dst_mac, ETHERTYPE_IPV4, network, vlan)
+
+
+def build_tcp(
+    frame_size: int = ETH_MIN_FRAME,
+    src_mac: str = DEFAULT_SRC_MAC,
+    dst_mac: str = DEFAULT_DST_MAC,
+    src_ip: str = DEFAULT_SRC_IP,
+    dst_ip: str = DEFAULT_DST_IP,
+    src_port: int = 5000,
+    dst_port: int = 80,
+    seq: int = 0,
+    flags: int = 0x10,
+    payload: Optional[bytes] = None,
+    fill: bytes = b"\x00",
+    vlan: Optional[int] = None,
+) -> Packet:
+    """Build a TCP/IPv4/Ethernet frame of exactly ``frame_size`` wire bytes."""
+    vlan_bytes = 4 if vlan is not None else 0
+    if payload is None:
+        payload = _payload_for(frame_size, 14 + vlan_bytes + 20 + 20, fill)
+    tcp = TcpHeader(src_port=src_port, dst_port=dst_port, seq=seq, flags=flags)
+    segment = tcp.pack(payload, ipv4_to_bytes(src_ip), ipv4_to_bytes(dst_ip))
+    ip = Ipv4Header(src=src_ip, dst=dst_ip, protocol=PROTO_TCP)
+    network = ip.pack(len(segment)) + segment
+    return _frame(src_mac, dst_mac, ETHERTYPE_IPV4, network, vlan)
+
+
+def build_icmp_echo(
+    frame_size: int = ETH_MIN_FRAME,
+    src_mac: str = DEFAULT_SRC_MAC,
+    dst_mac: str = DEFAULT_DST_MAC,
+    src_ip: str = DEFAULT_SRC_IP,
+    dst_ip: str = DEFAULT_DST_IP,
+    identifier: int = 1,
+    sequence: int = 0,
+) -> Packet:
+    """Build an ICMP echo request frame of ``frame_size`` wire bytes."""
+    payload = _payload_for(frame_size, 14 + 20 + 8, b"\xab")
+    icmp = IcmpHeader(type=TYPE_ECHO_REQUEST, identifier=identifier, sequence=sequence)
+    message = icmp.pack(payload)
+    ip = Ipv4Header(src=src_ip, dst=dst_ip, protocol=PROTO_ICMP)
+    network = ip.pack(len(message)) + message
+    return _frame(src_mac, dst_mac, ETHERTYPE_IPV4, network, None)
+
+
+def build_udp6(
+    frame_size: int = 78,
+    src_mac: str = DEFAULT_SRC_MAC,
+    dst_mac: str = DEFAULT_DST_MAC,
+    src_ip: str = "2001:db8::1",
+    dst_ip: str = "2001:db8::2",
+    src_port: int = 5000,
+    dst_port: int = 5001,
+    fill: bytes = b"\x00",
+) -> Packet:
+    """Build a UDP/IPv6/Ethernet frame of exactly ``frame_size`` wire bytes.
+
+    The minimum IPv6 UDP frame is 14 + 40 + 8 + 4 = 66 wire bytes.
+    """
+    from .fields import ipv6_to_bytes
+    from .ipv6 import Ipv6Header
+
+    payload = _payload_for(frame_size, 14 + 40 + 8, fill)
+    udp = UdpHeader(src_port=src_port, dst_port=dst_port)
+    segment = udp.pack(payload, ipv6_to_bytes(src_ip), ipv6_to_bytes(dst_ip))
+    ip6 = Ipv6Header(src=src_ip, dst=dst_ip, next_header=PROTO_UDP)
+    network = ip6.pack(len(segment)) + segment
+    return _frame(src_mac, dst_mac, ETHERTYPE_IPV6, network, None)
+
+
+def build_arp_request(
+    sender_mac: str = DEFAULT_SRC_MAC,
+    sender_ip: str = DEFAULT_SRC_IP,
+    target_ip: str = DEFAULT_DST_IP,
+) -> Packet:
+    """Build a broadcast ARP who-has frame."""
+    arp = ArpPacket(
+        operation=1,
+        sender_mac=sender_mac,
+        sender_ip=sender_ip,
+        target_mac="00:00:00:00:00:00",
+        target_ip=target_ip,
+    )
+    return _frame(sender_mac, "ff:ff:ff:ff:ff:ff", ETHERTYPE_ARP, arp.pack(), None)
+
+
+def _frame(
+    src_mac: str, dst_mac: str, ethertype: int, network: bytes, vlan: Optional[int]
+) -> Packet:
+    if vlan is not None:
+        eth = EthernetHeader(dst=dst_mac, src=src_mac, ethertype=ETHERTYPE_VLAN)
+        tag = VlanTag(vid=vlan, inner_ethertype=ethertype)
+        data = eth.pack() + tag.pack() + network
+    else:
+        eth = EthernetHeader(dst=dst_mac, src=src_mac, ethertype=ethertype)
+        data = eth.pack() + network
+    # The MAC pads runt frames to the Ethernet minimum on the wire, but
+    # building exact-size frames keeps checksums covering all bytes.
+    return Packet(data)

@@ -1,0 +1,69 @@
+"""Checksums: the Internet (ones-complement) checksum and Ethernet FCS."""
+
+from __future__ import annotations
+
+import zlib
+
+from .fields import u32
+
+
+def internet_checksum(data: bytes) -> int:
+    """RFC 1071 ones-complement checksum over ``data``.
+
+    Odd-length input is padded with a zero byte, per the RFC.
+    """
+    if len(data) % 2:
+        data = data + b"\x00"
+    total = 0
+    for offset in range(0, len(data), 2):
+        total += (data[offset] << 8) | data[offset + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+def pseudo_header_checksum(
+    src: bytes, dst: bytes, protocol: int, payload: bytes
+) -> int:
+    """Checksum of an IPv4/IPv6 pseudo-header plus an L4 segment.
+
+    ``src``/``dst`` are the packed addresses (4 or 16 bytes each).
+    """
+    pseudo = src + dst + bytes([0, protocol]) + len(payload).to_bytes(2, "big")
+    return internet_checksum(pseudo + payload)
+
+
+def ethernet_fcs(frame: bytes) -> bytes:
+    """Ethernet frame check sequence: CRC-32 appended little-endian.
+
+    ``frame`` is the bytes from destination MAC through payload.
+    """
+    return zlib.crc32(frame).to_bytes(4, "little")
+
+
+def verify_ethernet_fcs(frame_with_fcs: bytes) -> bool:
+    """Check the trailing 4-byte FCS of a frame."""
+    if len(frame_with_fcs) < 5:
+        return False
+    frame, fcs = frame_with_fcs[:-4], frame_with_fcs[-4:]
+    return ethernet_fcs(frame) == fcs
+
+
+def fletcher32(data: bytes) -> int:
+    """Fletcher-32 over 16-bit words; used by the monitor's hash unit.
+
+    Words are assembled low-byte-first, matching the published test
+    vectors (``fletcher32(b"abcde") == 0xF04FC729``).
+    """
+    if len(data) % 2:
+        data = data + b"\x00"
+    sum1 = sum2 = 0
+    for offset in range(0, len(data), 2):
+        sum1 = (sum1 + (data[offset] | (data[offset + 1] << 8))) % 65535
+        sum2 = (sum2 + sum1) % 65535
+    return (sum2 << 16) | sum1
+
+
+def crc32_hash(data: bytes) -> bytes:
+    """CRC-32 digest as 4 big-endian bytes (monitor hash unit option)."""
+    return u32(zlib.crc32(data) & 0xFFFFFFFF)

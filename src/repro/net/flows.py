@@ -1,0 +1,66 @@
+"""Flow identification: 5-tuples and flow-key extraction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .parser import DecodedPacket, decode
+
+
+@dataclass(frozen=True)
+class FiveTuple:
+    """The classic (src ip, dst ip, proto, src port, dst port) key.
+
+    Hashable and usable as a dict key. Ports are zero for protocols
+    without them (e.g. ICMP).
+    """
+
+    src_ip: str
+    dst_ip: str
+    protocol: int
+    src_port: int = 0
+    dst_port: int = 0
+
+    def reversed(self) -> "FiveTuple":
+        """The same flow seen from the other direction."""
+        return FiveTuple(
+            src_ip=self.dst_ip,
+            dst_ip=self.src_ip,
+            protocol=self.protocol,
+            src_port=self.dst_port,
+            dst_port=self.src_port,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.src_ip}:{self.src_port} -> "
+            f"{self.dst_ip}:{self.dst_port} proto={self.protocol}"
+        )
+
+
+def extract_five_tuple(data_or_decoded) -> Optional[FiveTuple]:
+    """5-tuple of a frame, or ``None`` for non-IP traffic.
+
+    Accepts raw frame bytes or an already-:func:`~repro.net.parser.decode`\\ d
+    packet, so hot paths can reuse their parse.
+    """
+    decoded = (
+        data_or_decoded
+        if isinstance(data_or_decoded, DecodedPacket)
+        else decode(data_or_decoded)
+    )
+    if decoded.ipv4 is not None:
+        src_ip, dst_ip = decoded.ipv4.src, decoded.ipv4.dst
+        protocol = decoded.ipv4.protocol
+    elif decoded.ipv6 is not None:
+        src_ip, dst_ip = decoded.ipv6.src, decoded.ipv6.dst
+        protocol = decoded.ipv6.next_header
+    else:
+        return None
+    src_port = dst_port = 0
+    if decoded.tcp is not None:
+        src_port, dst_port = decoded.tcp.src_port, decoded.tcp.dst_port
+    elif decoded.udp is not None:
+        src_port, dst_port = decoded.udp.src_port, decoded.udp.dst_port
+    return FiveTuple(src_ip, dst_ip, protocol, src_port, dst_port)

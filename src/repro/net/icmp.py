@@ -1,0 +1,46 @@
+"""ICMP (v4) echo messages — enough for ping-style test traffic."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import TruncatedPacketError
+from .checksum import internet_checksum
+from .fields import read_u16, u16
+
+ICMP_HEADER_LEN = 8
+TYPE_ECHO_REPLY = 0
+TYPE_ECHO_REQUEST = 8
+
+
+@dataclass
+class IcmpHeader:
+    type: int
+    code: int = 0
+    identifier: int = 0
+    sequence: int = 0
+    checksum: int = 0  # as parsed; recomputed on pack
+
+    def pack(self, payload: bytes = b"") -> bytes:
+        header = (
+            bytes([self.type, self.code])
+            + b"\x00\x00"
+            + u16(self.identifier)
+            + u16(self.sequence)
+        )
+        checksum = internet_checksum(header + payload)
+        return header[:2] + u16(checksum) + header[4:] + payload
+
+    @classmethod
+    def unpack(cls, data: bytes, offset: int) -> Tuple["IcmpHeader", int]:
+        if offset + ICMP_HEADER_LEN > len(data):
+            raise TruncatedPacketError("ICMP header truncated")
+        header = cls(
+            type=data[offset],
+            code=data[offset + 1],
+            checksum=read_u16(data, offset + 2),
+            identifier=read_u16(data, offset + 4),
+            sequence=read_u16(data, offset + 6),
+        )
+        return header, offset + ICMP_HEADER_LEN

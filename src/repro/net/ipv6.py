@@ -1,0 +1,53 @@
+"""IPv6 fixed header build and parse (extension headers not needed for
+the tester's workloads, but next-header values pass through opaquely)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import PacketError, TruncatedPacketError
+from .fields import ipv6_to_bytes, ipv6_to_str, read_u16, read_u32, u16, u32
+
+IPV6_HEADER_LEN = 40
+
+
+@dataclass
+class Ipv6Header:
+    src: str
+    dst: str
+    next_header: int
+    payload_length: int = 0  # filled on pack
+    traffic_class: int = 0
+    flow_label: int = 0
+    hop_limit: int = 64
+
+    def pack(self, payload_length: int) -> bytes:
+        if payload_length > 0xFFFF:
+            raise PacketError("IPv6 payload too long (no jumbograms)")
+        word0 = (6 << 28) | ((self.traffic_class & 0xFF) << 20) | (self.flow_label & 0xFFFFF)
+        return (
+            u32(word0)
+            + u16(payload_length)
+            + bytes([self.next_header, self.hop_limit])
+            + ipv6_to_bytes(self.src)
+            + ipv6_to_bytes(self.dst)
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes, offset: int) -> Tuple["Ipv6Header", int]:
+        if offset + IPV6_HEADER_LEN > len(data):
+            raise TruncatedPacketError("IPv6 header truncated")
+        word0 = read_u32(data, offset)
+        if word0 >> 28 != 6:
+            raise PacketError(f"not IPv6 (version={word0 >> 28})")
+        header = cls(
+            src=ipv6_to_str(data[offset + 8 : offset + 24]),
+            dst=ipv6_to_str(data[offset + 24 : offset + 40]),
+            next_header=data[offset + 6],
+            payload_length=read_u16(data, offset + 4),
+            traffic_class=(word0 >> 20) & 0xFF,
+            flow_label=word0 & 0xFFFFF,
+            hop_limit=data[offset + 7],
+        )
+        return header, offset + IPV6_HEADER_LEN

@@ -1,0 +1,100 @@
+"""Decode a frame into its header stack.
+
+:func:`decode` walks Ethernet → (VLAN) → L3 → L4 and returns a
+:class:`DecodedPacket` with whichever layers were present. Unknown or
+truncated inner layers stop the walk gracefully — the tester must cope
+with arbitrary traffic — but a frame too short for Ethernet raises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from ..errors import PacketError, TruncatedPacketError
+from .arp import ArpPacket
+from .ethernet import (
+    ETHERTYPE_ARP,
+    ETHERTYPE_IPV4,
+    ETHERTYPE_IPV6,
+    ETHERTYPE_VLAN,
+    EthernetHeader,
+    VlanTag,
+)
+from .icmp import IcmpHeader
+from .ipv4 import PROTO_ICMP, PROTO_TCP, PROTO_UDP, Ipv4Header
+from .ipv6 import Ipv6Header
+from .tcp import TcpHeader
+from .udp import UdpHeader
+
+L3Header = Union[Ipv4Header, Ipv6Header, ArpPacket]
+L4Header = Union[TcpHeader, UdpHeader, IcmpHeader]
+
+
+@dataclass
+class DecodedPacket:
+    """Result of :func:`decode`: the recognised layers of one frame."""
+
+    ethernet: EthernetHeader
+    vlan_tags: List[VlanTag] = field(default_factory=list)
+    ipv4: Optional[Ipv4Header] = None
+    ipv6: Optional[Ipv6Header] = None
+    arp: Optional[ArpPacket] = None
+    tcp: Optional[TcpHeader] = None
+    udp: Optional[UdpHeader] = None
+    icmp: Optional[IcmpHeader] = None
+    payload: bytes = b""
+    #: Offset of ``payload`` within the original frame bytes.
+    payload_offset: int = 0
+
+    @property
+    def l3(self) -> Optional[L3Header]:
+        return self.ipv4 or self.ipv6 or self.arp
+
+    @property
+    def l4(self) -> Optional[L4Header]:
+        return self.tcp or self.udp or self.icmp
+
+
+def decode(data: bytes) -> DecodedPacket:
+    """Parse as many layers of ``data`` as possible."""
+    ethernet, offset = EthernetHeader.unpack(data)
+    decoded = DecodedPacket(ethernet=ethernet)
+
+    ethertype = ethernet.ethertype
+    while ethertype == ETHERTYPE_VLAN:
+        try:
+            tag, offset = VlanTag.unpack(data, offset)
+        except TruncatedPacketError:
+            return _finish(decoded, data, offset)
+        decoded.vlan_tags.append(tag)
+        ethertype = tag.inner_ethertype
+
+    try:
+        if ethertype == ETHERTYPE_IPV4:
+            decoded.ipv4, offset = Ipv4Header.unpack(data, offset)
+            offset = _decode_l4(decoded, data, offset, decoded.ipv4.protocol)
+        elif ethertype == ETHERTYPE_IPV6:
+            decoded.ipv6, offset = Ipv6Header.unpack(data, offset)
+            offset = _decode_l4(decoded, data, offset, decoded.ipv6.next_header)
+        elif ethertype == ETHERTYPE_ARP:
+            decoded.arp, offset = ArpPacket.unpack(data, offset)
+    except (TruncatedPacketError, PacketError):
+        pass  # leave inner layers unset; payload is what remains
+    return _finish(decoded, data, offset)
+
+
+def _decode_l4(decoded: DecodedPacket, data: bytes, offset: int, protocol: int) -> int:
+    if protocol == PROTO_TCP:
+        decoded.tcp, offset = TcpHeader.unpack(data, offset)
+    elif protocol == PROTO_UDP:
+        decoded.udp, offset = UdpHeader.unpack(data, offset)
+    elif protocol == PROTO_ICMP:
+        decoded.icmp, offset = IcmpHeader.unpack(data, offset)
+    return offset
+
+
+def _finish(decoded: DecodedPacket, data: bytes, offset: int) -> DecodedPacket:
+    decoded.payload = data[offset:]
+    decoded.payload_offset = offset
+    return decoded

@@ -1,0 +1,269 @@
+"""pcapng (pcap-next-generation) reading and writing.
+
+Modern capture tools default to pcapng; a tester's replay path must
+read it. Supported blocks: Section Header (SHB), Interface Description
+(IDB, with the ``if_tsresol`` option), Enhanced Packet (EPB) and Simple
+Packet (SPB). Both byte orders are handled per section. Unknown block
+types are skipped, as the format intends.
+
+Timestamps cross the API as integer picoseconds, like the classic
+:mod:`repro.net.pcap` module.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import BinaryIO, Iterable, List, Union
+
+from ..errors import PcapError
+from ..units import PS_PER_SEC
+from .pcap import LINKTYPE_ETHERNET, PcapRecord
+
+SHB_TYPE = 0x0A0D0D0A
+IDB_TYPE = 0x00000001
+SPB_TYPE = 0x00000003
+EPB_TYPE = 0x00000006
+BYTE_ORDER_MAGIC = 0x1A2B3C4D
+
+OPT_ENDOFOPT = 0
+OPT_IF_TSRESOL = 9
+
+
+@dataclass
+class _Interface:
+    linktype: int
+    snaplen: int
+    #: Picoseconds per timestamp unit.
+    unit_ps: int
+
+
+class PcapngReader:
+    """Iterates :class:`~repro.net.pcap.PcapRecord` from a pcapng file."""
+
+    def __init__(self, source: Union[str, Path, BinaryIO]) -> None:
+        if isinstance(source, (str, Path)):
+            self._stream: BinaryIO = open(source, "rb")
+            self._owns_stream = True
+        else:
+            self._stream = source
+            self._owns_stream = False
+        self._endian = "<"
+        self._interfaces: List[_Interface] = []
+        self._started = False
+
+    # -- block-level reading ---------------------------------------------------
+
+    def _read_exact(self, count: int) -> bytes:
+        data = self._stream.read(count)
+        if len(data) < count:
+            raise PcapError("truncated pcapng block")
+        return data
+
+    def _next_block(self):
+        head = self._stream.read(8)
+        if not head:
+            return None
+        if len(head) < 8:
+            raise PcapError("truncated pcapng block header")
+        block_type = struct.unpack(self._endian + "I", head[:4])[0]
+        if block_type == SHB_TYPE:
+            # Endianness may change per section: peek the magic.
+            magic_bytes = self._read_exact(4)
+            for endian in ("<", ">"):
+                if struct.unpack(endian + "I", magic_bytes)[0] == BYTE_ORDER_MAGIC:
+                    self._endian = endian
+                    break
+            else:
+                raise PcapError("bad pcapng byte-order magic")
+            total_len = struct.unpack(self._endian + "I", head[4:])[0]
+            if total_len < 28 or total_len % 4:
+                raise PcapError(f"bad SHB length {total_len}")
+            body = self._read_exact(total_len - 12)
+            self._interfaces = []  # a new section resets interfaces
+            self._started = True
+            return (SHB_TYPE, body[:-4])
+        if not self._started:
+            raise PcapError("pcapng file does not start with a section header")
+        total_len = struct.unpack(self._endian + "I", head[4:])[0]
+        if total_len < 12 or total_len % 4:
+            raise PcapError(f"bad block length {total_len}")
+        body = self._read_exact(total_len - 8)
+        return (block_type, body[:-4])
+
+    def _parse_options(self, data: bytes):
+        offset = 0
+        while offset + 4 <= len(data):
+            code, length = struct.unpack_from(self._endian + "HH", data, offset)
+            offset += 4
+            if code == OPT_ENDOFOPT:
+                return
+            value = data[offset : offset + length]
+            offset += (length + 3) & ~3
+            yield code, value
+
+    def _handle_idb(self, body: bytes) -> None:
+        if len(body) < 8:
+            raise PcapError("short interface description block")
+        linktype, __, snaplen = struct.unpack_from(self._endian + "HHI", body)
+        unit_ps = PS_PER_SEC // 1_000_000  # default: microseconds
+        for code, value in self._parse_options(body[8:]):
+            if code == OPT_IF_TSRESOL and value:
+                resolution = value[0]
+                if resolution & 0x80:
+                    unit_ps = max(1, round(PS_PER_SEC / (1 << (resolution & 0x7F))))
+                else:
+                    unit_ps = max(1, PS_PER_SEC // (10 ** resolution))
+        self._interfaces.append(_Interface(linktype, snaplen, unit_ps))
+
+    # -- iteration -------------------------------------------------------------
+
+    def __iter__(self):
+        return self
+
+    def __next__(self) -> PcapRecord:
+        while True:
+            block = self._next_block()
+            if block is None:
+                raise StopIteration
+            block_type, body = block
+            if block_type == IDB_TYPE:
+                self._handle_idb(body)
+            elif block_type == EPB_TYPE:
+                return self._parse_epb(body)
+            elif block_type == SPB_TYPE:
+                return self._parse_spb(body)
+            # SHB and unknown blocks: continue scanning.
+
+    def _interface(self, index: int) -> _Interface:
+        if index >= len(self._interfaces):
+            raise PcapError(f"packet references undefined interface {index}")
+        return self._interfaces[index]
+
+    def _parse_epb(self, body: bytes) -> PcapRecord:
+        if len(body) < 20:
+            raise PcapError("short enhanced packet block")
+        iface_id, ts_high, ts_low, caplen, origlen = struct.unpack_from(
+            self._endian + "IIIII", body
+        )
+        interface = self._interface(iface_id)
+        if len(body) < 20 + caplen:
+            raise PcapError("enhanced packet block shorter than caplen")
+        data = body[20 : 20 + caplen]
+        timestamp_units = (ts_high << 32) | ts_low
+        return PcapRecord(
+            timestamp_ps=timestamp_units * interface.unit_ps,
+            data=data,
+            orig_len=origlen,
+        )
+
+    def _parse_spb(self, body: bytes) -> PcapRecord:
+        if len(body) < 4:
+            raise PcapError("short simple packet block")
+        origlen = struct.unpack_from(self._endian + "I", body)[0]
+        interface = self._interface(0)
+        caplen = min(origlen, interface.snaplen) if interface.snaplen else origlen
+        if len(body) < 4 + caplen:
+            raise PcapError("simple packet block shorter than caplen")
+        return PcapRecord(timestamp_ps=0, data=body[4 : 4 + caplen], orig_len=origlen)
+
+    def close(self) -> None:
+        if self._owns_stream:
+            self._stream.close()
+
+    def __enter__(self) -> "PcapngReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class PcapngWriter:
+    """Writes a single-section, single-interface pcapng file (EPBs)."""
+
+    def __init__(
+        self,
+        target: Union[str, Path, BinaryIO],
+        tsresol_decimal: int = 9,  # nanoseconds
+        snaplen: int = 0,
+    ) -> None:
+        if isinstance(target, (str, Path)):
+            self._stream: BinaryIO = open(target, "wb")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+        if not 0 <= tsresol_decimal <= 12:
+            raise PcapError("tsresol must be 0..12 decimal digits")
+        self._unit_ps = PS_PER_SEC // (10 ** tsresol_decimal)
+        self.records_written = 0
+        self._write_block(
+            SHB_TYPE,
+            struct.pack("<IHHq", BYTE_ORDER_MAGIC, 1, 0, -1),
+        )
+        tsresol_option = struct.pack("<HHB3x", OPT_IF_TSRESOL, 1, tsresol_decimal)
+        end_option = struct.pack("<HH", OPT_ENDOFOPT, 0)
+        self._write_block(
+            IDB_TYPE,
+            struct.pack("<HHI", LINKTYPE_ETHERNET, 0, snaplen)
+            + tsresol_option
+            + end_option,
+        )
+
+    def _write_block(self, block_type: int, body: bytes) -> None:
+        padding = (-len(body)) % 4
+        total = 12 + len(body) + padding
+        self._stream.write(struct.pack("<II", block_type, total))
+        self._stream.write(body + b"\x00" * padding)
+        self._stream.write(struct.pack("<I", total))
+
+    def write(self, record: PcapRecord) -> None:
+        units = record.timestamp_ps // self._unit_ps
+        body = struct.pack(
+            "<IIIII",
+            0,  # interface id
+            (units >> 32) & 0xFFFFFFFF,
+            units & 0xFFFFFFFF,
+            len(record.data),
+            record.original_length,
+        ) + record.data
+        self._write_block(EPB_TYPE, body)
+        self.records_written += 1
+
+    def close(self) -> None:
+        if self._owns_stream:
+            self._stream.close()
+
+    def __enter__(self) -> "PcapngWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_pcapng(path: Union[str, Path]) -> List[PcapRecord]:
+    with PcapngReader(path) as reader:
+        return list(reader)
+
+
+def write_pcapng(
+    path: Union[str, Path],
+    records: Iterable[PcapRecord],
+    tsresol_decimal: int = 9,
+) -> int:
+    with PcapngWriter(path, tsresol_decimal=tsresol_decimal) as writer:
+        for record in records:
+            writer.write(record)
+        return writer.records_written
+
+
+def read_capture(path: Union[str, Path]) -> List[PcapRecord]:
+    """Read a capture file, auto-detecting classic pcap vs pcapng."""
+    with open(path, "rb") as stream:
+        magic = stream.read(4)
+    if magic == b"\x0a\x0d\x0d\x0a":
+        return read_pcapng(path)
+    from .pcap import read_pcap
+
+    return read_pcap(path)

@@ -1,0 +1,81 @@
+"""``oflops-turbo`` — run measurement modules against the simulated DUT."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..devices.openflow_switch import PROFILES, SwitchProfile
+from ..units import us
+from .context import OflopsContext
+from .module import ModuleRunner
+from .modules import ALL_MODULES
+from .report import render_result
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="oflops-turbo",
+        description="OFLOPS-turbo: OpenFlow switch evaluation (simulated DUT)",
+    )
+    parser.add_argument(
+        "modules",
+        nargs="*",
+        default=[],
+        help=f"modules to run (default: all). Available: {', '.join(sorted(ALL_MODULES))}",
+    )
+    parser.add_argument(
+        "--dut",
+        choices=sorted(PROFILES),
+        default=None,
+        help="use a named switch profile instead of the individual knobs",
+    )
+    parser.add_argument(
+        "--barrier-mode",
+        choices=["spec", "eager"],
+        default="spec",
+        help="DUT barrier behaviour (eager = replies before table writes land)",
+    )
+    parser.add_argument(
+        "--firmware-delay-us", type=float, default=10.0, help="per-message CPU cost"
+    )
+    parser.add_argument(
+        "--table-write-us", type=float, default=100.0, help="per-rule TCAM write cost"
+    )
+    parser.add_argument(
+        "--control-latency-us", type=float, default=50.0, help="one-way channel latency"
+    )
+    parser.add_argument("--rules", type=int, default=32, help="rules for table tests")
+    args = parser.parse_args(argv)
+
+    names = args.modules or sorted(ALL_MODULES)
+    unknown = [name for name in names if name not in ALL_MODULES]
+    if unknown:
+        parser.error(f"unknown module(s): {', '.join(unknown)}")
+
+    for name in names:
+        if args.dut is not None:
+            profile = PROFILES[args.dut]
+        else:
+            profile = SwitchProfile(
+                barrier_mode=args.barrier_mode,
+                firmware_delay_ps=us(args.firmware_delay_us),
+                table_write_ps=us(args.table_write_us),
+            )
+        ctx = OflopsContext(
+            profile=profile, control_latency_ps=us(args.control_latency_us)
+        )
+        module_cls = ALL_MODULES[name]
+        if name in ("flow_mod_latency", "forwarding_consistency"):
+            module = module_cls(n_rules=args.rules)
+        else:
+            module = module_cls()
+        result = ModuleRunner(ctx).run(module)
+        print(render_result(result))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""The OFLOPS-turbo measurement context: testbed + three channels."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..devices.openflow_switch import SwitchProfile
+from ..sim import Simulator
+from ..testbed.topology import OpenFlowTestbed
+from ..units import us
+from .channels import ControlChannelHandle, DataChannelHandle, SnmpChannelHandle
+
+
+class OflopsContext:
+    """Everything a measurement module may touch.
+
+    Built around the Figure-2 topology: OSNT port 0 feeds switch port 1
+    (OF numbering), switch port 2 feeds OSNT port 1 ("egress" monitor),
+    and with cross ports wired, switch port 3 feeds OSNT port 2
+    ("egress2") — used by consistency tests that redirect traffic.
+    """
+
+    def __init__(
+        self,
+        sim: Optional[Simulator] = None,
+        profile: Optional[SwitchProfile] = None,
+        control_latency_ps: int = us(50),
+        wire_cross_ports: bool = True,
+        **osnt_kwargs,
+    ) -> None:
+        self.sim = sim or Simulator()
+        self.testbed = OpenFlowTestbed(
+            self.sim,
+            profile=profile,
+            control_latency_ps=control_latency_ps,
+            wire_cross_ports=wire_cross_ports,
+            **osnt_kwargs,
+        )
+        self.control = ControlChannelHandle(self.sim, self.testbed.controller)
+        monitors = {"egress": self.testbed.tester.monitor(1)}
+        if wire_cross_ports:
+            monitors["egress2"] = self.testbed.tester.monitor(2)
+        self.data = DataChannelHandle(self.sim, self.testbed.generator, monitors)
+        self.snmp = SnmpChannelHandle(self.sim, self.testbed.snmp)
+        #: OF port numbers (1-based) of the wired paths.
+        self.ingress_of_port = 1
+        self.egress_of_port = 2
+        self.egress2_of_port = 3 if wire_cross_ports else None
+
+    @property
+    def switch(self):
+        return self.testbed.switch
+
+    def run_until(self, time_ps: int) -> None:
+        self.sim.run(until=time_ps)
+
+    def run_for(self, duration_ps: int) -> None:
+        self.sim.run(until=self.sim.now + duration_ps)

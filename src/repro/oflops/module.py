@@ -1,0 +1,68 @@
+"""The OFLOPS measurement-module framework.
+
+Like the original OFLOPS, a measurement is a *module*: a class with a
+lifecycle the runner drives. Modules receive the context (all three
+channels), arm whatever callbacks they need, let the simulation advance,
+and produce a result dictionary.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..errors import OflopsError
+from ..units import seconds
+from .context import OflopsContext
+
+
+class MeasurementModule:
+    """Base class for OFLOPS-turbo measurement modules."""
+
+    #: Short identifier used by the runner/CLI.
+    name = "base"
+    description = ""
+    #: Hard cap on simulated time for one run.
+    max_duration_ps = seconds(10)
+
+    def setup(self, ctx: OflopsContext) -> None:
+        """Prepare DUT state (install baseline rules, start captures)."""
+
+    def start(self, ctx: OflopsContext) -> None:
+        """Kick off the measured activity (traffic, message bursts)."""
+        raise NotImplementedError
+
+    def is_finished(self, ctx: OflopsContext) -> bool:
+        """Polled by the runner between simulation slices."""
+        raise NotImplementedError
+
+    def collect(self, ctx: OflopsContext) -> Dict[str, Any]:
+        """Extract the results after the run completes."""
+        raise NotImplementedError
+
+
+class ModuleRunner:
+    """Drives one module through its lifecycle on a fresh context."""
+
+    def __init__(self, ctx: Optional[OflopsContext] = None, slice_ps: int = None) -> None:
+        from ..units import ms
+
+        self.ctx = ctx or OflopsContext()
+        self.slice_ps = slice_ps or ms(1)
+
+    def run(self, module: MeasurementModule) -> Dict[str, Any]:
+        ctx = self.ctx
+        module.setup(ctx)
+        started_at = ctx.sim.now
+        module.start(ctx)
+        deadline = started_at + module.max_duration_ps
+        while not module.is_finished(ctx):
+            if ctx.sim.now >= deadline:
+                raise OflopsError(
+                    f"module {module.name!r} did not finish within "
+                    f"{module.max_duration_ps} ps of simulated time"
+                )
+            ctx.run_until(min(ctx.sim.now + self.slice_ps, deadline))
+        results = module.collect(ctx)
+        results.setdefault("module", module.name)
+        results.setdefault("simulated_ps", ctx.sim.now - started_at)
+        return results

@@ -1,0 +1,36 @@
+"""Standard OFLOPS-turbo measurement modules."""
+
+from .echo_latency import EchoLatencyModule
+from .flow_expiry import FlowExpiryModule
+from .flow_mod_latency import FlowModLatencyModule
+from .forwarding_consistency import ForwardingConsistencyModule
+from .interaction import ControlInteractionModule
+from .packet_in_latency import PacketInLatencyModule
+from .port_stats import PortStatsAccuracyModule
+from .throughput import ThroughputModule
+
+ALL_MODULES = {
+    module.name: module
+    for module in (
+        ControlInteractionModule,
+        EchoLatencyModule,
+        FlowExpiryModule,
+        FlowModLatencyModule,
+        ForwardingConsistencyModule,
+        PacketInLatencyModule,
+        PortStatsAccuracyModule,
+        ThroughputModule,
+    )
+}
+
+__all__ = [
+    "ALL_MODULES",
+    "ControlInteractionModule",
+    "EchoLatencyModule",
+    "FlowExpiryModule",
+    "FlowModLatencyModule",
+    "ForwardingConsistencyModule",
+    "PacketInLatencyModule",
+    "PortStatsAccuracyModule",
+    "ThroughputModule",
+]

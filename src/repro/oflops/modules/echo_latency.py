@@ -1,0 +1,53 @@
+"""Control-channel echo RTT — the elementary OFLOPS baseline probe."""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ...analysis.stats import SummaryStats
+from ..context import OflopsContext
+from ..module import MeasurementModule
+
+
+class EchoLatencyModule(MeasurementModule):
+    """Measure OFPT_ECHO round-trip latency over the control channel.
+
+    Echoes are paced (one outstanding at a time) so the measurement sees
+    channel + firmware latency rather than queueing behind itself.
+    """
+
+    name = "echo_latency"
+    description = "OpenFlow echo request/reply RTT distribution"
+
+    def __init__(self, count: int = 50, payload: bytes = b"oflops") -> None:
+        self.count = count
+        self.payload = payload
+        self._xids: list = []
+
+    def start(self, ctx: OflopsContext) -> None:
+        self._send_next(ctx)
+        ctx.control.add_listener(lambda message: self._maybe_continue(ctx))
+
+    def _send_next(self, ctx: OflopsContext) -> None:
+        if len(self._xids) < self.count:
+            self._xids.append(ctx.control.echo(self.payload))
+
+    def _maybe_continue(self, ctx: OflopsContext) -> None:
+        if self._xids and ctx.control.rtt_of(self._xids[-1]) is not None:
+            self._send_next(ctx)
+
+    def is_finished(self, ctx: OflopsContext) -> bool:
+        return len(self._xids) == self.count and all(
+            ctx.control.rtt_of(xid) is not None for xid in self._xids
+        )
+
+    def collect(self, ctx: OflopsContext) -> Dict[str, Any]:
+        rtts = [ctx.control.rtt_of(xid) for xid in self._xids]
+        summary = SummaryStats.of(rtts)
+        return {
+            "count": summary.count,
+            "rtt_mean_us": summary.mean / 1e6,
+            "rtt_p50_us": summary.p50 / 1e6,
+            "rtt_p99_us": summary.p99 / 1e6,
+            "rtt_max_us": summary.maximum / 1e6,
+        }

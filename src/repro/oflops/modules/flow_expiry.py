@@ -1,0 +1,75 @@
+"""Flow expiry accuracy: configured timeout vs observed removal.
+
+OFLOPS measures how precisely switches honour idle/hard timeouts —
+firmware typically scans for expired entries on a coarse period, so a
+"1 second" timeout removes the rule up to a scan-period late. The
+module installs rules with OFPFF_SEND_FLOW_REM across a range of hard
+timeouts and compares each FLOW_REMOVED arrival against the configured
+deadline.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ...openflow import constants as ofp
+from ...openflow.actions import OutputAction
+from ...openflow.match import Match
+from ...openflow.messages import FlowRemoved
+from ...units import seconds
+from ..context import OflopsContext
+from ..module import MeasurementModule
+
+
+class FlowExpiryModule(MeasurementModule):
+    name = "flow_expiry"
+    description = "hard-timeout expiry accuracy via FLOW_REMOVED"
+    max_duration_ps = seconds(30)
+
+    def __init__(self, timeouts_s: Optional[List[int]] = None, base_port: int = 8000) -> None:
+        self.timeouts_s = timeouts_s or [1, 2, 3, 5]
+        self.base_port = base_port
+        self.installed_at: Dict[int, int] = {}
+        self.removed_at: Dict[int, int] = {}
+
+    def setup(self, ctx: OflopsContext) -> None:
+        ctx.control.add_listener(self._make_listener(ctx))
+
+    def start(self, ctx: OflopsContext) -> None:
+        for index, timeout in enumerate(self.timeouts_s):
+            port = self.base_port + index
+            ctx.control.add_flow(
+                Match.exact(dl_type=0x0800, nw_proto=17, tp_dst=port),
+                actions=[OutputAction(ctx.egress_of_port)],
+                hard_timeout=timeout,
+                flags=ofp.OFPFF_SEND_FLOW_REM,
+            )
+            self.installed_at[port] = ctx.sim.now
+
+    def _make_listener(self, ctx: OflopsContext):
+        def on_message(message) -> None:
+            if isinstance(message, FlowRemoved):
+                port = message.match.tp_dst
+                self.removed_at.setdefault(port, ctx.sim.now)
+
+        return on_message
+
+    def is_finished(self, ctx: OflopsContext) -> bool:
+        return len(self.removed_at) == len(self.timeouts_s)
+
+    def collect(self, ctx: OflopsContext) -> Dict[str, Any]:
+        rows = []
+        for index, timeout in enumerate(self.timeouts_s):
+            port = self.base_port + index
+            observed_ps = self.removed_at[port] - self.installed_at[port]
+            rows.append(
+                {
+                    "configured_s": timeout,
+                    "observed_s": observed_ps / 1e12,
+                    "lateness_ms": (observed_ps - timeout * 10**12) / 1e9,
+                }
+            )
+        return {
+            "expiries": rows,
+            "worst_lateness_ms": max(row["lateness_ms"] for row in rows),
+        }

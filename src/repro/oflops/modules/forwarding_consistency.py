@@ -1,0 +1,99 @@
+"""Forwarding consistency during large flow-table updates (demo Part II).
+
+Rules steering N flows to one port are burst-rewritten to another. The
+module counts probes still delivered to the *old* port after (a) the
+update was issued and (b) the switch's barrier claimed completion. A
+spec-honest switch shows zero post-barrier staleness; an eager switch
+keeps forwarding stale for the whole residual table-write backlog.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ...openflow.actions import OutputAction
+from ...openflow.match import Match
+from ...osnt.generator.schedule import ConstantGap
+from ...testbed.workloads import port_sweep_source
+from ...units import ms, us
+from ..context import OflopsContext
+from ..module import MeasurementModule
+
+
+class ForwardingConsistencyModule(MeasurementModule):
+    name = "forwarding_consistency"
+    description = "stale forwarding during a burst rule update"
+
+    def __init__(
+        self,
+        n_rules: int = 32,
+        base_port: int = 7000,
+        probe_gap_ps: int = us(2),
+        settle_ps: int = ms(5),
+    ) -> None:
+        self.n_rules = n_rules
+        self.base_port = base_port
+        self.probe_gap_ps = probe_gap_ps
+        self.settle_ps = settle_ps
+        self.t_update: Optional[int] = None
+        self._barrier_xid: Optional[int] = None
+        self._finish_at: Optional[int] = None
+
+    def setup(self, ctx: OflopsContext) -> None:
+        if ctx.egress2_of_port is None:
+            raise ValueError("consistency module needs cross ports wired")
+        for index in range(self.n_rules):
+            ctx.control.add_flow(
+                Match.exact(dl_type=0x0800, nw_proto=17, tp_dst=self.base_port + index),
+                actions=[OutputAction(ctx.egress_of_port)],
+                priority=100,
+            )
+        setup_barrier = ctx.control.barrier()
+        ctx.run_for(ms(10))
+        assert ctx.control.rtt_of(setup_barrier) is not None
+        ctx.data.start_capture()
+        engine = ctx.data.generator._engine
+        engine.configure(
+            port_sweep_source(128, self.n_rules, base_port=self.base_port),
+            schedule=ConstantGap(self.probe_gap_ps),
+        )
+        engine.start()
+        ctx.run_for(ms(1))  # steady state through the old port
+
+    def start(self, ctx: OflopsContext) -> None:
+        self.t_update = ctx.sim.now
+        for index in range(self.n_rules):
+            ctx.control.modify_flow(
+                Match.exact(dl_type=0x0800, nw_proto=17, tp_dst=self.base_port + index),
+                actions=[OutputAction(ctx.egress2_of_port)],
+                priority=100,
+            )
+        self._barrier_xid = ctx.control.barrier()
+
+    def is_finished(self, ctx: OflopsContext) -> bool:
+        if ctx.control.rtt_of(self._barrier_xid) is None:
+            return False
+        if self._finish_at is None:
+            self._finish_at = ctx.sim.now + self.settle_ps
+        return ctx.sim.now >= self._finish_at
+
+    def collect(self, ctx: OflopsContext) -> Dict[str, Any]:
+        ctx.data.generator._engine.stop()
+        barrier_at = ctx.control.reply_times[self._barrier_xid]
+        old_rx = [
+            p.rx_timestamp
+            for p in ctx.data.captured("egress")
+            if p.rx_timestamp >= self.t_update
+        ]
+        new_rx = [p.rx_timestamp for p in ctx.data.captured("egress2")]
+        last_old = max(old_rx) if old_rx else self.t_update
+        first_new = min(new_rx) if new_rx else last_old
+        return {
+            "n_rules": self.n_rules,
+            "barrier_mode": ctx.switch.profile.barrier_mode,
+            "barrier_latency_us": (barrier_at - self.t_update) / 1e6,
+            "stale_during_update": len(old_rx),
+            "stale_after_barrier": sum(1 for t in old_rx if t > barrier_at),
+            "transition_span_us": max(0, last_old - first_new) / 1e6,
+            "new_path_packets": len(new_rx),
+        }

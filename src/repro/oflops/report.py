@@ -1,0 +1,27 @@
+"""Result rendering for OFLOPS-turbo runs."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+
+def render_result(result: Dict[str, Any]) -> str:
+    """One module result as readable key/value lines."""
+    lines = [f"== {result.get('module', 'result')} =="]
+    for key in sorted(result):
+        if key == "module":
+            continue
+        value = result[key]
+        if isinstance(value, float):
+            rendered = f"{value:,.3f}"
+        elif isinstance(value, list) and len(value) > 8:
+            head = ", ".join(f"{v:,.1f}" if isinstance(v, float) else str(v) for v in value[:8])
+            rendered = f"[{head}, ... {len(value)} values]"
+        else:
+            rendered = str(value)
+        lines.append(f"  {key:<28} {rendered}")
+    return "\n".join(lines)
+
+
+def render_results(results: List[Dict[str, Any]]) -> str:
+    return "\n\n".join(render_result(result) for result in results)

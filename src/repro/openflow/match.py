@@ -1,0 +1,246 @@
+"""The OpenFlow 1.0 ``ofp_match`` structure.
+
+The 40-byte match covers ingress port, Ethernet, VLAN, IPv4 and L4
+ports, with a wildcard bitmap (IP addresses wildcard by prefix length
+encoded in 6-bit fields). :meth:`Match.from_packet` builds the exact
+match of a frame the way a switch builds a lookup key; :meth:`matches`
+implements the table lookup semantics.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..errors import OpenFlowError
+from ..net.fields import ipv4_to_int, ipv4_to_str, mac_to_bytes, mac_to_str
+from ..net.parser import decode
+from . import constants as ofp
+
+MATCH_LEN = 40
+_MATCH_FMT = "!IH6s6sHBxHBBxxIIHH"
+
+#: dl_vlan value meaning "untagged" in OpenFlow 1.0.
+OFP_VLAN_NONE = 0xFFFF
+
+
+@dataclass
+class Match:
+    """An ofp_match. Wildcarded fields hold don't-care values."""
+
+    wildcards: int = ofp.OFPFW_ALL
+    in_port: int = 0
+    dl_src: str = "00:00:00:00:00:00"
+    dl_dst: str = "00:00:00:00:00:00"
+    dl_vlan: int = OFP_VLAN_NONE
+    dl_vlan_pcp: int = 0
+    dl_type: int = 0
+    nw_tos: int = 0
+    nw_proto: int = 0
+    nw_src: str = "0.0.0.0"
+    nw_dst: str = "0.0.0.0"
+    tp_src: int = 0
+    tp_dst: int = 0
+
+    # -- construction helpers --------------------------------------------
+
+    @classmethod
+    def exact(cls, **fields_set) -> "Match":
+        """A match wildcarding everything except the named fields.
+
+        >>> Match.exact(dl_type=0x0800, nw_dst="10.0.0.1")
+        """
+        match = cls(**fields_set)
+        wildcards = ofp.OFPFW_ALL
+        simple_bits = {
+            "in_port": ofp.OFPFW_IN_PORT,
+            "dl_vlan": ofp.OFPFW_DL_VLAN,
+            "dl_src": ofp.OFPFW_DL_SRC,
+            "dl_dst": ofp.OFPFW_DL_DST,
+            "dl_type": ofp.OFPFW_DL_TYPE,
+            "nw_proto": ofp.OFPFW_NW_PROTO,
+            "tp_src": ofp.OFPFW_TP_SRC,
+            "tp_dst": ofp.OFPFW_TP_DST,
+            "dl_vlan_pcp": ofp.OFPFW_DL_VLAN_PCP,
+            "nw_tos": ofp.OFPFW_NW_TOS,
+        }
+        for name in fields_set:
+            if name in simple_bits:
+                wildcards &= ~simple_bits[name]
+            elif name == "nw_src":
+                wildcards &= ~ofp.OFPFW_NW_SRC_MASK
+            elif name == "nw_dst":
+                wildcards &= ~ofp.OFPFW_NW_DST_MASK
+            else:
+                raise OpenFlowError(f"unknown match field {name!r}")
+        match.wildcards = wildcards
+        return match
+
+    @classmethod
+    def from_packet(cls, data: bytes, in_port: int) -> "Match":
+        """The exact (no-wildcard) match a switch extracts from a frame."""
+        decoded = decode(data)
+        match = cls(wildcards=0, in_port=in_port)
+        match.dl_src = decoded.ethernet.src
+        match.dl_dst = decoded.ethernet.dst
+        if decoded.vlan_tags:
+            match.dl_vlan = decoded.vlan_tags[0].vid
+            match.dl_vlan_pcp = decoded.vlan_tags[0].pcp
+            match.dl_type = decoded.vlan_tags[0].inner_ethertype
+        else:
+            match.dl_vlan = OFP_VLAN_NONE
+            match.dl_type = decoded.ethernet.ethertype
+        if decoded.ipv4 is not None:
+            match.nw_src = decoded.ipv4.src
+            match.nw_dst = decoded.ipv4.dst
+            match.nw_proto = decoded.ipv4.protocol
+            match.nw_tos = decoded.ipv4.dscp << 2
+            if decoded.tcp is not None:
+                match.tp_src, match.tp_dst = decoded.tcp.src_port, decoded.tcp.dst_port
+            elif decoded.udp is not None:
+                match.tp_src, match.tp_dst = decoded.udp.src_port, decoded.udp.dst_port
+            elif decoded.icmp is not None:
+                match.tp_src, match.tp_dst = decoded.icmp.type, decoded.icmp.code
+        elif decoded.arp is not None:
+            match.nw_src = decoded.arp.sender_ip
+            match.nw_dst = decoded.arp.target_ip
+            match.nw_proto = decoded.arp.operation
+        return match
+
+    # -- prefix-wildcard accessors ----------------------------------------
+
+    @property
+    def nw_src_prefix_len(self) -> int:
+        """Significant bits of nw_src (32 = exact, 0 = fully wild)."""
+        wild = (self.wildcards & ofp.OFPFW_NW_SRC_MASK) >> ofp.OFPFW_NW_SRC_SHIFT
+        return max(0, 32 - wild)
+
+    @property
+    def nw_dst_prefix_len(self) -> int:
+        wild = (self.wildcards & ofp.OFPFW_NW_DST_MASK) >> ofp.OFPFW_NW_DST_SHIFT
+        return max(0, 32 - wild)
+
+    def set_nw_src_prefix(self, prefix_len: int) -> None:
+        if not 0 <= prefix_len <= 32:
+            raise OpenFlowError(f"bad prefix length {prefix_len}")
+        self.wildcards = (self.wildcards & ~ofp.OFPFW_NW_SRC_MASK) | (
+            (32 - prefix_len) << ofp.OFPFW_NW_SRC_SHIFT
+        )
+
+    def set_nw_dst_prefix(self, prefix_len: int) -> None:
+        if not 0 <= prefix_len <= 32:
+            raise OpenFlowError(f"bad prefix length {prefix_len}")
+        self.wildcards = (self.wildcards & ~ofp.OFPFW_NW_DST_MASK) | (
+            (32 - prefix_len) << ofp.OFPFW_NW_DST_SHIFT
+        )
+
+    # -- lookup semantics -----------------------------------------------------
+
+    def matches(self, key: "Match") -> bool:
+        """True if an exact ``key`` (from a packet) falls in this rule."""
+        w = self.wildcards
+        if not w & ofp.OFPFW_IN_PORT and self.in_port != key.in_port:
+            return False
+        if not w & ofp.OFPFW_DL_SRC and self.dl_src != key.dl_src:
+            return False
+        if not w & ofp.OFPFW_DL_DST and self.dl_dst != key.dl_dst:
+            return False
+        if not w & ofp.OFPFW_DL_VLAN and self.dl_vlan != key.dl_vlan:
+            return False
+        if not w & ofp.OFPFW_DL_VLAN_PCP and self.dl_vlan_pcp != key.dl_vlan_pcp:
+            return False
+        if not w & ofp.OFPFW_DL_TYPE and self.dl_type != key.dl_type:
+            return False
+        if not w & ofp.OFPFW_NW_TOS and self.nw_tos != key.nw_tos:
+            return False
+        if not w & ofp.OFPFW_NW_PROTO and self.nw_proto != key.nw_proto:
+            return False
+        if not w & ofp.OFPFW_TP_SRC and self.tp_src != key.tp_src:
+            return False
+        if not w & ofp.OFPFW_TP_DST and self.tp_dst != key.tp_dst:
+            return False
+        if not _prefix_ok(self.nw_src, key.nw_src, self.nw_src_prefix_len):
+            return False
+        if not _prefix_ok(self.nw_dst, key.nw_dst, self.nw_dst_prefix_len):
+            return False
+        return True
+
+    def is_strict_equal(self, other: "Match") -> bool:
+        """Strict flow-mod comparison: same wildcards and same fields."""
+        return self.normalised_tuple() == other.normalised_tuple()
+
+    def normalised_tuple(self) -> tuple:
+        """Canonical value ignoring bytes hidden behind wildcards."""
+        w = self.wildcards
+        src_len = self.nw_src_prefix_len
+        dst_len = self.nw_dst_prefix_len
+        return (
+            w & ofp.OFPFW_ALL,
+            None if w & ofp.OFPFW_IN_PORT else self.in_port,
+            None if w & ofp.OFPFW_DL_SRC else self.dl_src,
+            None if w & ofp.OFPFW_DL_DST else self.dl_dst,
+            None if w & ofp.OFPFW_DL_VLAN else self.dl_vlan,
+            None if w & ofp.OFPFW_DL_VLAN_PCP else self.dl_vlan_pcp,
+            None if w & ofp.OFPFW_DL_TYPE else self.dl_type,
+            None if w & ofp.OFPFW_NW_TOS else self.nw_tos,
+            None if w & ofp.OFPFW_NW_PROTO else self.nw_proto,
+            _masked(self.nw_src, src_len),
+            _masked(self.nw_dst, dst_len),
+            None if w & ofp.OFPFW_TP_SRC else self.tp_src,
+            None if w & ofp.OFPFW_TP_DST else self.tp_dst,
+        )
+
+    # -- wire format --------------------------------------------------------
+
+    def pack(self) -> bytes:
+        return struct.pack(
+            _MATCH_FMT,
+            self.wildcards,
+            self.in_port,
+            mac_to_bytes(self.dl_src),
+            mac_to_bytes(self.dl_dst),
+            self.dl_vlan,
+            self.dl_vlan_pcp,
+            self.dl_type,
+            self.nw_tos,
+            self.nw_proto,
+            ipv4_to_int(self.nw_src),
+            ipv4_to_int(self.nw_dst),
+            self.tp_src,
+            self.tp_dst,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes, offset: int = 0) -> "Match":
+        if offset + MATCH_LEN > len(data):
+            raise OpenFlowError("truncated ofp_match")
+        fields_raw = struct.unpack_from(_MATCH_FMT, data, offset)
+        return cls(
+            wildcards=fields_raw[0],
+            in_port=fields_raw[1],
+            dl_src=mac_to_str(fields_raw[2]),
+            dl_dst=mac_to_str(fields_raw[3]),
+            dl_vlan=fields_raw[4],
+            dl_vlan_pcp=fields_raw[5],
+            dl_type=fields_raw[6],
+            nw_tos=fields_raw[7],
+            nw_proto=fields_raw[8],
+            nw_src=ipv4_to_str(fields_raw[9]),
+            nw_dst=ipv4_to_str(fields_raw[10]),
+            tp_src=fields_raw[11],
+            tp_dst=fields_raw[12],
+        )
+
+
+def _prefix_ok(rule_ip: str, key_ip: str, prefix_len: int) -> bool:
+    if prefix_len == 0:
+        return True
+    mask = ((1 << prefix_len) - 1) << (32 - prefix_len)
+    return (ipv4_to_int(rule_ip) & mask) == (ipv4_to_int(key_ip) & mask)
+
+
+def _masked(ip: str, prefix_len: int):
+    if prefix_len == 0:
+        return None
+    mask = ((1 << prefix_len) - 1) << (32 - prefix_len)
+    return (ipv4_to_int(ip) & mask, prefix_len)

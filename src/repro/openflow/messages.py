@@ -1,0 +1,491 @@
+"""OpenFlow 1.0 messages: encode, decode and a stream parser.
+
+Each message class packs to spec-exact wire bytes; :func:`parse_message`
+decodes one message and :class:`MessageBuffer` reassembles messages from
+a byte stream (the control channel is a TCP stream, so messages may
+arrive split or coalesced).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List
+
+from ..errors import OpenFlowError
+from . import constants as ofp
+from .actions import Action, pack_actions, unpack_actions
+from .match import MATCH_LEN, Match
+
+_HEADER_FMT = "!BBHI"
+
+
+def pack_header(msg_type: int, length: int, xid: int) -> bytes:
+    return struct.pack(_HEADER_FMT, ofp.OFP_VERSION, msg_type, length, xid)
+
+
+@dataclass
+class Message:
+    """Common header fields; subclasses add bodies."""
+
+    xid: int = 0
+
+    MSG_TYPE = -1  # overridden
+
+    def body(self) -> bytes:
+        return b""
+
+    def pack(self) -> bytes:
+        body = self.body()
+        return pack_header(self.MSG_TYPE, ofp.OFP_HEADER_LEN + len(body), self.xid) + body
+
+
+@dataclass
+class Hello(Message):
+    MSG_TYPE = ofp.OFPT_HELLO
+
+
+@dataclass
+class EchoRequest(Message):
+    MSG_TYPE = ofp.OFPT_ECHO_REQUEST
+    payload: bytes = b""
+
+    def body(self) -> bytes:
+        return self.payload
+
+
+@dataclass
+class EchoReply(Message):
+    MSG_TYPE = ofp.OFPT_ECHO_REPLY
+    payload: bytes = b""
+
+    def body(self) -> bytes:
+        return self.payload
+
+
+@dataclass
+class ErrorMsg(Message):
+    MSG_TYPE = ofp.OFPT_ERROR
+    err_type: int = 0
+    err_code: int = 0
+    data: bytes = b""
+
+    def body(self) -> bytes:
+        return struct.pack("!HH", self.err_type, self.err_code) + self.data
+
+
+@dataclass
+class FeaturesRequest(Message):
+    MSG_TYPE = ofp.OFPT_FEATURES_REQUEST
+
+
+@dataclass
+class PhyPort:
+    """One entry of the features-reply port list (48 bytes)."""
+
+    port_no: int = 0
+    hw_addr: bytes = b"\x00" * 6
+    name: str = ""
+    state_link_down: bool = False
+    curr_speed_10g: bool = True
+
+    def pack(self) -> bytes:
+        name = self.name.encode()[: ofp.OFP_MAX_PORT_NAME_LEN - 1]
+        name += b"\x00" * (ofp.OFP_MAX_PORT_NAME_LEN - len(name))
+        state = 1 if self.state_link_down else 0
+        curr = 1 << 6 if self.curr_speed_10g else 1 << 5  # OFPPF_10GB_FD / 1GB_FD
+        return struct.pack(
+            "!H6s16sIIIIII",
+            self.port_no,
+            self.hw_addr,
+            name,
+            0,  # config
+            state,
+            curr,
+            0,
+            0,
+            0,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes, offset: int) -> "PhyPort":
+        port_no, hw_addr, name, __, state, curr = struct.unpack_from(
+            "!H6s16sIII", data, offset
+        )
+        return cls(
+            port_no=port_no,
+            hw_addr=hw_addr,
+            name=name.rstrip(b"\x00").decode(errors="replace"),
+            state_link_down=bool(state & 1),
+            curr_speed_10g=bool(curr & (1 << 6)),
+        )
+
+
+@dataclass
+class FeaturesReply(Message):
+    MSG_TYPE = ofp.OFPT_FEATURES_REPLY
+    datapath_id: int = 0
+    n_buffers: int = 256
+    n_tables: int = 1
+    capabilities: int = 0
+    actions_bitmap: int = 0xFFF
+    ports: List[PhyPort] = field(default_factory=list)
+
+    def body(self) -> bytes:
+        head = struct.pack(
+            "!QIB3xII",
+            self.datapath_id,
+            self.n_buffers,
+            self.n_tables,
+            self.capabilities,
+            self.actions_bitmap,
+        )
+        return head + b"".join(port.pack() for port in self.ports)
+
+
+@dataclass
+class PacketIn(Message):
+    MSG_TYPE = ofp.OFPT_PACKET_IN
+    buffer_id: int = ofp.OFP_NO_BUFFER
+    total_len: int = 0
+    in_port: int = 0
+    reason: int = ofp.OFPR_NO_MATCH
+    data: bytes = b""
+
+    def body(self) -> bytes:
+        return (
+            struct.pack(
+                "!IHHBx",
+                self.buffer_id,
+                self.total_len or len(self.data),
+                self.in_port,
+                self.reason,
+            )
+            + self.data
+        )
+
+
+@dataclass
+class PacketOut(Message):
+    MSG_TYPE = ofp.OFPT_PACKET_OUT
+    buffer_id: int = ofp.OFP_NO_BUFFER
+    in_port: int = ofp.OFPP_NONE
+    actions: List[Action] = field(default_factory=list)
+    data: bytes = b""
+
+    def body(self) -> bytes:
+        actions = pack_actions(self.actions)
+        return (
+            struct.pack("!IHH", self.buffer_id, self.in_port, len(actions))
+            + actions
+            + self.data
+        )
+
+
+@dataclass
+class FlowMod(Message):
+    MSG_TYPE = ofp.OFPT_FLOW_MOD
+    match: Match = field(default_factory=Match)
+    cookie: int = 0
+    command: int = ofp.OFPFC_ADD
+    idle_timeout: int = 0
+    hard_timeout: int = 0
+    priority: int = 0x8000
+    buffer_id: int = ofp.OFP_NO_BUFFER
+    out_port: int = ofp.OFPP_NONE
+    flags: int = 0
+    actions: List[Action] = field(default_factory=list)
+
+    def body(self) -> bytes:
+        return (
+            self.match.pack()
+            + struct.pack(
+                "!QHHHHIHH",
+                self.cookie,
+                self.command,
+                self.idle_timeout,
+                self.hard_timeout,
+                self.priority,
+                self.buffer_id,
+                self.out_port,
+                self.flags,
+            )
+            + pack_actions(self.actions)
+        )
+
+
+@dataclass
+class FlowRemoved(Message):
+    MSG_TYPE = ofp.OFPT_FLOW_REMOVED
+    match: Match = field(default_factory=Match)
+    cookie: int = 0
+    priority: int = 0
+    reason: int = ofp.OFPRR_DELETE
+    duration_sec: int = 0
+    duration_nsec: int = 0
+    idle_timeout: int = 0
+    packet_count: int = 0
+    byte_count: int = 0
+
+    def body(self) -> bytes:
+        return self.match.pack() + struct.pack(
+            "!QHBxIIH2xQQ",
+            self.cookie,
+            self.priority,
+            self.reason,
+            self.duration_sec,
+            self.duration_nsec,
+            self.idle_timeout,
+            self.packet_count,
+            self.byte_count,
+        )
+
+
+@dataclass
+class BarrierRequest(Message):
+    MSG_TYPE = ofp.OFPT_BARRIER_REQUEST
+
+
+@dataclass
+class BarrierReply(Message):
+    MSG_TYPE = ofp.OFPT_BARRIER_REPLY
+
+
+@dataclass
+class StatsRequest(Message):
+    MSG_TYPE = ofp.OFPT_STATS_REQUEST
+    stats_type: int = ofp.OFPST_DESC
+    flags: int = 0
+    request_body: bytes = b""
+
+    def body(self) -> bytes:
+        return struct.pack("!HH", self.stats_type, self.flags) + self.request_body
+
+
+@dataclass
+class StatsReply(Message):
+    MSG_TYPE = ofp.OFPT_STATS_REPLY
+    stats_type: int = ofp.OFPST_DESC
+    flags: int = 0
+    reply_body: bytes = b""
+
+    def body(self) -> bytes:
+        return struct.pack("!HH", self.stats_type, self.flags) + self.reply_body
+
+
+@dataclass
+class PortStatus(Message):
+    MSG_TYPE = ofp.OFPT_PORT_STATUS
+    reason: int = ofp.OFPPR_MODIFY
+    port: PhyPort = field(default_factory=PhyPort)
+
+    def body(self) -> bytes:
+        return struct.pack("!B7x", self.reason) + self.port.pack()
+
+
+# -- decoding ----------------------------------------------------------------
+
+
+def parse_message(data: bytes) -> Message:
+    """Decode exactly one OpenFlow message from ``data``."""
+    if len(data) < ofp.OFP_HEADER_LEN:
+        raise OpenFlowError("short OpenFlow header")
+    version, msg_type, length, xid = struct.unpack_from(_HEADER_FMT, data)
+    if version != ofp.OFP_VERSION:
+        raise OpenFlowError(f"unsupported OpenFlow version {version:#x}")
+    if length < ofp.OFP_HEADER_LEN or length > len(data):
+        raise OpenFlowError(f"bad message length {length}")
+    body = data[ofp.OFP_HEADER_LEN : length]
+    parser = _PARSERS.get(msg_type)
+    if parser is None:
+        raise OpenFlowError(f"unsupported message type {msg_type}")
+    try:
+        message = parser(body)
+    except struct.error as exc:
+        # Truncated/short body for the claimed type: surface it as a
+        # protocol error, not an internal struct failure.
+        raise OpenFlowError(f"malformed type-{msg_type} body: {exc}") from exc
+    message.xid = xid
+    return message
+
+
+def _parse_hello(body: bytes) -> Message:
+    return Hello()
+
+
+def _parse_echo_request(body: bytes) -> Message:
+    return EchoRequest(payload=body)
+
+
+def _parse_echo_reply(body: bytes) -> Message:
+    return EchoReply(payload=body)
+
+
+def _parse_error(body: bytes) -> Message:
+    err_type, err_code = struct.unpack_from("!HH", body)
+    return ErrorMsg(err_type=err_type, err_code=err_code, data=body[4:])
+
+
+def _parse_features_request(body: bytes) -> Message:
+    return FeaturesRequest()
+
+
+def _parse_features_reply(body: bytes) -> Message:
+    datapath_id, n_buffers, n_tables, capabilities, actions = struct.unpack_from(
+        "!QIB3xII", body
+    )
+    ports = []
+    offset = 24
+    while offset + 48 <= len(body):
+        ports.append(PhyPort.unpack(body, offset))
+        offset += 48
+    return FeaturesReply(
+        datapath_id=datapath_id,
+        n_buffers=n_buffers,
+        n_tables=n_tables,
+        capabilities=capabilities,
+        actions_bitmap=actions,
+        ports=ports,
+    )
+
+
+def _parse_packet_in(body: bytes) -> Message:
+    buffer_id, total_len, in_port, reason = struct.unpack_from("!IHHBx", body)
+    return PacketIn(
+        buffer_id=buffer_id,
+        total_len=total_len,
+        in_port=in_port,
+        reason=reason,
+        data=body[10:],
+    )
+
+
+def _parse_packet_out(body: bytes) -> Message:
+    buffer_id, in_port, actions_len = struct.unpack_from("!IHH", body)
+    actions = unpack_actions(body, 8, actions_len)
+    return PacketOut(
+        buffer_id=buffer_id,
+        in_port=in_port,
+        actions=actions,
+        data=body[8 + actions_len :],
+    )
+
+
+def _parse_flow_mod(body: bytes) -> Message:
+    match = Match.unpack(body, 0)
+    (
+        cookie,
+        command,
+        idle_timeout,
+        hard_timeout,
+        priority,
+        buffer_id,
+        out_port,
+        flags,
+    ) = struct.unpack_from("!QHHHHIHH", body, MATCH_LEN)
+    actions = unpack_actions(body, MATCH_LEN + 24, len(body) - MATCH_LEN - 24)
+    return FlowMod(
+        match=match,
+        cookie=cookie,
+        command=command,
+        idle_timeout=idle_timeout,
+        hard_timeout=hard_timeout,
+        priority=priority,
+        buffer_id=buffer_id,
+        out_port=out_port,
+        flags=flags,
+        actions=actions,
+    )
+
+
+def _parse_flow_removed(body: bytes) -> Message:
+    match = Match.unpack(body, 0)
+    (
+        cookie,
+        priority,
+        reason,
+        duration_sec,
+        duration_nsec,
+        idle_timeout,
+        packet_count,
+        byte_count,
+    ) = struct.unpack_from("!QHBxIIH2xQQ", body, MATCH_LEN)
+    return FlowRemoved(
+        match=match,
+        cookie=cookie,
+        priority=priority,
+        reason=reason,
+        duration_sec=duration_sec,
+        duration_nsec=duration_nsec,
+        idle_timeout=idle_timeout,
+        packet_count=packet_count,
+        byte_count=byte_count,
+    )
+
+
+def _parse_barrier_request(body: bytes) -> Message:
+    return BarrierRequest()
+
+
+def _parse_barrier_reply(body: bytes) -> Message:
+    return BarrierReply()
+
+
+def _parse_stats_request(body: bytes) -> Message:
+    stats_type, flags = struct.unpack_from("!HH", body)
+    return StatsRequest(stats_type=stats_type, flags=flags, request_body=body[4:])
+
+
+def _parse_stats_reply(body: bytes) -> Message:
+    stats_type, flags = struct.unpack_from("!HH", body)
+    return StatsReply(stats_type=stats_type, flags=flags, reply_body=body[4:])
+
+
+def _parse_port_status(body: bytes) -> Message:
+    reason = struct.unpack_from("!B7x", body)[0]
+    port = PhyPort.unpack(body, 8)
+    return PortStatus(reason=reason, port=port)
+
+
+_PARSERS = {
+    ofp.OFPT_HELLO: _parse_hello,
+    ofp.OFPT_ECHO_REQUEST: _parse_echo_request,
+    ofp.OFPT_ECHO_REPLY: _parse_echo_reply,
+    ofp.OFPT_ERROR: _parse_error,
+    ofp.OFPT_FEATURES_REQUEST: _parse_features_request,
+    ofp.OFPT_FEATURES_REPLY: _parse_features_reply,
+    ofp.OFPT_PACKET_IN: _parse_packet_in,
+    ofp.OFPT_PACKET_OUT: _parse_packet_out,
+    ofp.OFPT_FLOW_MOD: _parse_flow_mod,
+    ofp.OFPT_FLOW_REMOVED: _parse_flow_removed,
+    ofp.OFPT_BARRIER_REQUEST: _parse_barrier_request,
+    ofp.OFPT_BARRIER_REPLY: _parse_barrier_reply,
+    ofp.OFPT_STATS_REQUEST: _parse_stats_request,
+    ofp.OFPT_STATS_REPLY: _parse_stats_reply,
+    ofp.OFPT_PORT_STATUS: _parse_port_status,
+}
+
+
+class MessageBuffer:
+    """Reassembles OpenFlow messages from a TCP-like byte stream."""
+
+    def __init__(self) -> None:
+        self._buffer = b""
+
+    def feed(self, data: bytes) -> List[Message]:
+        """Append stream bytes; return every complete message."""
+        self._buffer += data
+        messages: List[Message] = []
+        while len(self._buffer) >= ofp.OFP_HEADER_LEN:
+            length = struct.unpack_from("!H", self._buffer, 2)[0]
+            if length < ofp.OFP_HEADER_LEN:
+                raise OpenFlowError(f"bad stream message length {length}")
+            if len(self._buffer) < length:
+                break
+            messages.append(parse_message(self._buffer[:length]))
+            self._buffer = self._buffer[length:]
+        return messages
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buffer)

@@ -1,0 +1,16 @@
+"""OSNT: the open-source network tester (generator + monitor + API)."""
+
+from .api import OSNT, TrafficGenerator, TrafficMonitor
+from .dashboard import render_status
+from .device import OSNTDevice
+from .software_baseline import SoftwareGenerator, SoftwareGeneratorProfile
+
+__all__ = [
+    "OSNT",
+    "OSNTDevice",
+    "SoftwareGenerator",
+    "SoftwareGeneratorProfile",
+    "TrafficGenerator",
+    "TrafficMonitor",
+    "render_status",
+]

@@ -1,0 +1,339 @@
+"""The programmer-friendly OSNT software API.
+
+The paper: "The OSNT platform provides a simple and programmer-friendly
+API to control the traffic generation and monitoring functionality of
+the OSNT design, enabling the realisation of high precision and
+throughput measurement tests in software."
+
+:class:`TrafficGenerator` and :class:`TrafficMonitor` are that API. All
+*control* (start/stop, timestamping, snap length, thinning, filters,
+counters) flows through the device's AXI-Lite register map — the same
+path the real driver uses — while bulk data (templates, PCAP contents,
+schedules) is attached as Python objects, standing in for the real
+tools' DMA loads.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from ..errors import CaptureError, GeneratorError
+from ..net.packet import Packet
+from ..net.pcap import PcapRecord, PcapWriter
+from ..net.pcapng import read_capture
+from ..units import parse_rate
+from .device import OSNTDevice
+from .generator.field_modifiers import FieldModifier
+from .generator.schedule import (
+    Bursts,
+    ConstantBitRate,
+    ConstantGap,
+    LineRate,
+    PoissonGaps,
+    Schedule,
+    rate_for_load,
+)
+from .generator.source import PacketSource, PcapReplaySource, TemplateSource
+from .generator.tx_timestamp import DEFAULT_OFFSET
+from .monitor.reducers import HashUnit
+
+
+class TrafficGenerator:
+    """Software handle onto one port's generation engine."""
+
+    def __init__(self, device: OSNTDevice, port_index: int) -> None:
+        self.device = device
+        self.port_index = port_index
+        self._engine = device.generator(port_index)
+        self._bus = device.bus
+        self._base = device.generator_base(port_index)
+        self._source: Optional[PacketSource] = None
+        self._schedule: Optional[Schedule] = None
+        self._count: Optional[int] = None
+        self._duration_ps: Optional[int] = None
+        self._embed = False
+        self._ts_offset = DEFAULT_OFFSET
+
+    # -- what to send ------------------------------------------------------
+
+    def load_template(
+        self,
+        packet: Packet,
+        count: Optional[int] = None,
+        modifiers: Sequence[FieldModifier] = (),
+    ) -> "TrafficGenerator":
+        """Replay one frame ``count`` times (None = until stopped)."""
+        self._source = TemplateSource(packet, count=count, modifiers=modifiers)
+        self._count = count
+        return self
+
+    def load_pcap(
+        self,
+        source: Union[str, Path, Sequence[PcapRecord]],
+        loop: int = 1,
+        preserve_timing: bool = True,
+        speed: float = 1.0,
+    ) -> "TrafficGenerator":
+        """Replay a capture (pcap or pcapng), with its recorded gaps."""
+        records = (
+            read_capture(source) if isinstance(source, (str, Path)) else list(source)
+        )
+        replay = PcapReplaySource(records, loop=loop, speed=speed)
+        self._source = replay
+        self._count = None
+        if preserve_timing:
+            self._schedule = replay.timing_schedule()
+        return self
+
+    # -- how fast ----------------------------------------------------------
+
+    def at_line_rate(self) -> "TrafficGenerator":
+        self._schedule = LineRate(self._engine.port.rate_bps)
+        return self
+
+    def set_rate(self, rate: Union[str, float]) -> "TrafficGenerator":
+        """Target wire rate, e.g. ``"5Gbps"`` or bits/second."""
+        bps = parse_rate(rate) if isinstance(rate, str) else float(rate)
+        self._schedule = ConstantBitRate(bps, self._engine.port.rate_bps)
+        return self
+
+    def set_load(self, fraction: float) -> "TrafficGenerator":
+        """Target offered load as a fraction of line rate (0, 1]."""
+        return self.set_rate(rate_for_load(fraction, self._engine.port.rate_bps))
+
+    def set_gap(self, gap_ps: int) -> "TrafficGenerator":
+        """Fixed start-to-start inter-departure time."""
+        self._schedule = ConstantGap(gap_ps, self._engine.port.rate_bps)
+        return self
+
+    def poisson(self, mean_gap_ps: float) -> "TrafficGenerator":
+        """Poisson arrivals with the given mean gap."""
+        rng = self.device.streams.stream(f"gen{self.port_index}.poisson")
+        self._schedule = PoissonGaps(mean_gap_ps, rng, self._engine.port.rate_bps)
+        return self
+
+    def bursts(self, burst_len: int, idle_gap_ps: int) -> "TrafficGenerator":
+        self._schedule = Bursts(burst_len, idle_gap_ps, self._engine.port.rate_bps)
+        return self
+
+    def for_duration(self, duration_ps: int) -> "TrafficGenerator":
+        self._duration_ps = duration_ps
+        return self
+
+    # -- timestamping --------------------------------------------------------
+
+    def embed_timestamps(self, offset: int = DEFAULT_OFFSET) -> "TrafficGenerator":
+        """Embed the 64-bit TX stamp at ``offset`` in every frame."""
+        self._embed = True
+        self._ts_offset = offset
+        return self
+
+    # -- control -----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._source is None:
+            raise GeneratorError("nothing loaded: call load_template()/load_pcap()")
+        self._engine.configure(
+            self._source,
+            schedule=self._schedule,
+            count=self._count,
+            duration_ps=self._duration_ps,
+            embed_timestamps=self._embed,
+            timestamp_offset=self._ts_offset,
+        )
+        self._bus.write32(self._base + 0x4, 1 if self._embed else 0)  # ts_enable
+        self._bus.write32(self._base + 0x8, self._ts_offset)  # ts_offset
+        self._bus.write32(self._base + 0x0, 0x1)  # ctrl.start
+    def stop(self) -> None:
+        self._bus.write32(self._base + 0x0, 0x2)  # ctrl.stop
+
+    @property
+    def running(self) -> bool:
+        return bool(self._bus.read32(self._base + 0x20))
+
+    @property
+    def packets_sent(self) -> int:
+        low = self._bus.read32(self._base + 0x10)
+        high = self._bus.read32(self._base + 0x14)
+        return (high << 32) | low
+
+    @property
+    def bytes_sent(self) -> int:
+        low = self._bus.read32(self._base + 0x18)
+        high = self._bus.read32(self._base + 0x1C)
+        return (high << 32) | low
+
+    @property
+    def stats(self):
+        return self._engine.stats
+
+    @property
+    def done(self):
+        """Signal fired (with the stats) when the run finishes."""
+        return self._engine.done
+
+
+class TrafficMonitor:
+    """Software handle onto one port's capture pipeline."""
+
+    def __init__(self, device: OSNTDevice, port_index: int) -> None:
+        self.device = device
+        self.port_index = port_index
+        self._pipeline = device.monitor(port_index)
+        self._bus = device.bus
+        self._base = device.monitor_base(port_index)
+
+    # -- capture control ------------------------------------------------------
+
+    def start_capture(
+        self,
+        snap_bytes: Optional[int] = None,
+        keep_one_in: int = 1,
+        hash_packets: bool = False,
+    ) -> "TrafficMonitor":
+        if snap_bytes is not None and snap_bytes < 14:
+            raise CaptureError("snap length must keep at least the Ethernet header")
+        self._bus.write32(self._base + 0x4, snap_bytes or 0)  # snap_len
+        self._bus.write32(self._base + 0x8, keep_one_in)  # thin_one_in
+        self._pipeline.hash_unit = HashUnit() if hash_packets else None
+        self._bus.write32(self._base + 0x0, 1)  # ctrl.enable
+        return self
+
+    def stop_capture(self) -> None:
+        self._bus.write32(self._base + 0x0, 0)
+
+    def clear(self) -> None:
+        self._pipeline.host.clear()
+
+    # -- filters -------------------------------------------------------------
+
+    def add_filter(
+        self,
+        src_ip: Optional[str] = None,
+        src_prefix_len: int = 32,
+        dst_ip: Optional[str] = None,
+        dst_prefix_len: int = 32,
+        protocol: Optional[int] = None,
+        src_port: Optional[int] = None,
+        dst_port: Optional[int] = None,
+        action_pass: bool = True,
+    ) -> "TrafficMonitor":
+        """Install a wildcard filter row (and default-drop the rest)."""
+        from ..net.fields import ipv4_to_int
+        from .device import FILTER_WILDCARD
+
+        base = self._base
+        write = self._bus.write32
+        write(base + 0x40, FILTER_WILDCARD if src_ip is None else ipv4_to_int(src_ip))
+        write(base + 0x44, src_prefix_len)
+        write(base + 0x48, FILTER_WILDCARD if dst_ip is None else ipv4_to_int(dst_ip))
+        write(base + 0x4C, dst_prefix_len)
+        write(base + 0x50, FILTER_WILDCARD if protocol is None else protocol)
+        write(base + 0x54, FILTER_WILDCARD if src_port is None else src_port)
+        write(base + 0x58, FILTER_WILDCARD if dst_port is None else dst_port)
+        write(base + 0x5C, 1 if action_pass else 0)
+        write(base + 0x60, 1)  # commit strobe
+        # Installing an explicit pass rule flips the default to drop —
+        # "capture only what matches", like the OSNT cut/filter tools.
+        if action_pass:
+            self._pipeline.filter_bank.default_pass = False
+        return self
+
+    def clear_filters(self) -> None:
+        self._bus.write32(self._base + 0x64, 1)
+        self._pipeline.filter_bank.default_pass = True
+
+    # -- results -------------------------------------------------------------
+
+    @property
+    def rx_packets(self) -> int:
+        low = self._bus.read32(self._base + 0x10)
+        high = self._bus.read32(self._base + 0x14)
+        return (high << 32) | low
+
+    @property
+    def rx_bytes(self) -> int:
+        low = self._bus.read32(self._base + 0x18)
+        high = self._bus.read32(self._base + 0x1C)
+        return (high << 32) | low
+
+    @property
+    def capture_drops(self) -> int:
+        return self._bus.read32(self._base + 0x20)
+
+    @property
+    def captured_count(self) -> int:
+        return self._bus.read32(self._base + 0x24)
+
+    @property
+    def packets(self):
+        """Packets delivered to the host buffer (with RX timestamps)."""
+        return self._pipeline.host.packets
+
+    def on_packet(self, listener) -> None:
+        """Register a callback for each packet reaching the host."""
+        self._pipeline.host.add_listener(listener)
+
+    def save_pcap(self, path: Union[str, Path]) -> int:
+        """Write the host buffer to a nanosecond pcap; returns count."""
+        with PcapWriter(path) as writer:
+            return self._pipeline.host.write_pcap(writer)
+
+    def save_pcapng(self, path: Union[str, Path]) -> int:
+        """Write the host buffer as a nanosecond pcapng; returns count."""
+        from ..net.pcapng import write_pcapng
+
+        return write_pcapng(path, self._pipeline.host.records())
+
+    def rate_monitor(self, interval_ps: Optional[int] = None) -> "RateMonitor":
+        """Start periodic RX rate sampling (the hardware stats engine)."""
+        from ..units import ms
+        from .monitor.rates import RateMonitor
+
+        stats = self._pipeline.port.rx.stats
+        monitor = RateMonitor(
+            self.device.sim,
+            read_counters=lambda: (stats.packets, stats.bytes),
+            interval_ps=interval_ps or ms(1),
+        )
+        monitor.start()
+        return monitor
+
+    @property
+    def observed_bps(self) -> float:
+        return self._pipeline.stats.observed_bps()
+
+
+class OSNT:
+    """Top-level facade: one tester card plus its software handles.
+
+    >>> sim = Simulator()
+    >>> tester = OSNT(sim)
+    >>> gen, mon = tester.generator(0), tester.monitor(1)
+    """
+
+    def __init__(self, sim, **device_kwargs) -> None:
+        self.device = OSNTDevice(sim, **device_kwargs)
+        self.sim = sim
+        self._generators = {}
+        self._monitors = {}
+
+    def generator(self, port_index: int) -> TrafficGenerator:
+        if port_index not in self._generators:
+            self._generators[port_index] = TrafficGenerator(self.device, port_index)
+        return self._generators[port_index]
+
+    def monitor(self, port_index: int) -> TrafficMonitor:
+        if port_index not in self._monitors:
+            self._monitors[port_index] = TrafficMonitor(self.device, port_index)
+        return self._monitors[port_index]
+
+    def port(self, port_index: int):
+        return self.device.port(port_index)
+
+    @property
+    def gps_locked(self) -> bool:
+        """True once the disciplined clock error is under a microsecond."""
+        error = self.device.gps.last_error_ps
+        return error is not None and abs(error) < 1_000_000

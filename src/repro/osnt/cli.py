@@ -1,0 +1,202 @@
+"""Command-line tools mirroring the OSNT software utilities.
+
+``osnt-gen`` — drive the (simulated) tester's generator: synthetic
+templates or PCAP replay, rate control, TX timestamping; optionally
+capture the far end of a loopback cable to a PCAP file.
+
+``osnt-mon`` — run a PCAP file through the monitor pipeline offline:
+wildcard filters, cutting, thinning; writes the reduced capture and
+prints the stats the hardware counters would show.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..analysis.report import format_table
+from ..hw.port import connect
+from ..net.builder import build_udp
+from ..net.pcap import PcapWriter
+from ..net.pcapng import read_capture
+from ..sim import Simulator
+from ..units import format_rate, ms, parse_rate, seconds
+from .api import OSNT
+from .monitor.filters import FilterBank, FilterRule
+from .monitor.reducers import PacketCutter, Thinner
+
+
+def gen_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="osnt-gen",
+        description="OSNT traffic generator (simulated NetFPGA-10G loopback)",
+    )
+    parser.add_argument("--frame-size", type=int, default=64, help="wire bytes incl. FCS")
+    parser.add_argument("--rate", default="10Gbps", help='target rate, e.g. "5Gbps"')
+    parser.add_argument("--count", type=int, default=None, help="packets to send")
+    parser.add_argument(
+        "--duration-ms", type=float, default=None, help="run length in simulated ms"
+    )
+    parser.add_argument("--replay", metavar="PCAP", help="replay a capture instead")
+    parser.add_argument("--loop", type=int, default=1, help="replay loop count")
+    parser.add_argument(
+        "--timestamp", action="store_true", help="embed hardware TX timestamps"
+    )
+    parser.add_argument("--capture", metavar="PCAP", help="write loopback capture here")
+    args = parser.parse_args(argv)
+    if args.count is None and args.duration_ms is None and not args.replay:
+        args.duration_ms = 1.0
+
+    sim = Simulator()
+    tester = OSNT(sim)
+    connect(tester.port(0), tester.port(1))
+    generator = tester.generator(0)
+    monitor = tester.monitor(1)
+    monitor.start_capture()
+
+    if args.replay:
+        generator.load_pcap(args.replay, loop=args.loop)
+    else:
+        generator.load_template(build_udp(frame_size=args.frame_size), count=args.count)
+        rate_bps = parse_rate(args.rate)
+        generator.set_rate(rate_bps)
+    if args.timestamp:
+        generator.embed_timestamps()
+    if args.duration_ms is not None:
+        generator.for_duration(ms(args.duration_ms))
+    generator.start()
+    sim.run(until=seconds(10))
+    sim.run()
+
+    stats = generator.stats
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["packets sent", generator.packets_sent],
+                ["bytes sent", generator.bytes_sent],
+                ["achieved rate", format_rate(stats.achieved_bps())],
+                ["achieved pps", f"{stats.achieved_pps():,.0f}"],
+                ["captured at peer", monitor.captured_count],
+            ],
+            title="osnt-gen run summary",
+        )
+    )
+    if args.capture:
+        written = monitor.save_pcap(args.capture)
+        print(f"wrote {written} packets to {args.capture}")
+    return 0
+
+
+def mon_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="osnt-mon",
+        description="OSNT monitor pipeline over a PCAP file (filter/cut/thin)",
+    )
+    parser.add_argument("input", help="input pcap")
+    parser.add_argument("--output", help="write the reduced capture here")
+    parser.add_argument("--snaplen", type=int, default=None, help="cut to N bytes")
+    parser.add_argument("--thin", type=int, default=1, metavar="N", help="keep 1-in-N")
+    parser.add_argument("--proto", type=int, default=None, help="filter: IP protocol")
+    parser.add_argument("--src-ip", default=None, help="filter: source prefix a.b.c.d/len")
+    parser.add_argument("--dst-ip", default=None, help="filter: dest prefix a.b.c.d/len")
+    parser.add_argument("--dst-port", type=int, default=None, help="filter: dest port")
+    parser.add_argument(
+        "--flows", type=int, default=0, metavar="N",
+        help="also print the top-N flows of the (filtered) capture",
+    )
+    args = parser.parse_args(argv)
+
+    bank = FilterBank(default_pass=True)
+    rule_fields = {}
+    if args.proto is not None:
+        rule_fields["protocol"] = args.proto
+    if args.dst_port is not None:
+        rule_fields["dst_port"] = args.dst_port
+    for field, value in (("src", args.src_ip), ("dst", args.dst_ip)):
+        if value:
+            if "/" in value:
+                address, length = value.split("/", 1)
+                rule_fields[f"{field}_ip"] = address
+                rule_fields[f"{field}_prefix_len"] = int(length)
+            else:
+                rule_fields[f"{field}_ip"] = value
+    if rule_fields:
+        bank.add_rule(FilterRule(**rule_fields))
+        bank.default_pass = False
+
+    cutter = PacketCutter(args.snaplen)
+    thinner = Thinner(keep_one_in=args.thin)
+
+    records = read_capture(args.input)
+    kept = []
+    in_bytes = out_bytes = 0
+    for record in records:
+        in_bytes += len(record.data)
+        if not bank.decide(record.data):
+            continue
+        if not thinner.decide():
+            continue
+        data = record.data
+        if args.snaplen is not None and len(data) > args.snaplen:
+            data = data[: args.snaplen]
+            cutter.cut += 1
+        out_bytes += len(data)
+        kept.append((record, data))
+
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["packets in", len(records)],
+                ["passed filter", bank.passed],
+                ["dropped by filter", bank.filtered],
+                ["thinned", thinner.thinned],
+                ["cut", cutter.cut],
+                ["packets out", len(kept)],
+                ["bytes in", in_bytes],
+                ["bytes out", out_bytes],
+                [
+                    "host-load reduction",
+                    f"{(1 - out_bytes / in_bytes) * 100:.1f}%" if in_bytes else "0%",
+                ],
+            ],
+            title=f"osnt-mon: {args.input}",
+        )
+    )
+    if args.flows:
+        from ..analysis.flowstats import FlowAccounting
+        from ..net.packet import Packet
+
+        accounting = FlowAccounting()
+        for record, __ in kept:
+            if len(record.data) >= 14:
+                packet = Packet(record.data)
+                packet.rx_timestamp = record.timestamp_ps
+                accounting.add(packet)
+        print(
+            format_table(
+                ["flow", "packets", "bytes", "duration ms", "rate Mbps"],
+                accounting.table_rows(args.flows),
+                title=f"top {args.flows} flows ({len(accounting)} total)",
+            )
+        )
+    if args.output:
+        with PcapWriter(args.output) as writer:
+            for record, data in kept:
+                from ..net.pcap import PcapRecord
+
+                writer.write(
+                    PcapRecord(
+                        timestamp_ps=record.timestamp_ps,
+                        data=data,
+                        orig_len=record.original_length,
+                    )
+                )
+        print(f"wrote {len(kept)} packets to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(gen_main())

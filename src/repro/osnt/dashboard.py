@@ -1,0 +1,71 @@
+"""A textual status panel for the tester — the "GUI" counterpart.
+
+The paper mentions "command-line and graphic-user interfaces (CLI and
+GUI)"; this module renders the same information the OSNT GUI shows —
+device identity, GPS lock, per-port generator/monitor counters and
+rates — as a plain-text panel, suitable for terminals and tests alike.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..analysis.report import format_table
+from ..units import format_rate
+from .api import OSNT
+
+
+def render_status(tester: OSNT) -> str:
+    """One snapshot of the whole card as a text panel."""
+    device = tester.device
+    sim = device.sim
+    lines: List[str] = []
+    identity = device.bus.read32(0x0)
+    version = device.bus.read32(0x4)
+    gps_error = device.gps.last_error_ps
+    gps_state = (
+        "no fix yet"
+        if gps_error is None
+        else f"locked, |err| {abs(gps_error) / 1e3:.1f} ns"
+        if abs(gps_error) < 1_000_000
+        else f"acquiring, |err| {abs(gps_error) / 1e6:.1f} µs"
+    )
+    if not device.gps.enabled:
+        gps_state = "disabled (free-running)"
+    lines.append(
+        f"OSNT device {identity:#010x} v{version >> 16}.{version & 0xFFFF}"
+        f"  t={sim.now / 1e12:.6f} s  GPS: {gps_state}"
+    )
+    lines.append("")
+
+    rows = []
+    for index, port in enumerate(device.ports):
+        generator = device.generators[index]
+        monitor = device.monitors[index]
+        rows.append(
+            [
+                f"p{index}",
+                "up" if port.connected else "down",
+                generator.stats.sent,
+                format_rate(generator.stats.achieved_bps()),
+                monitor.stats.rx_packets,
+                format_rate(monitor.stats.observed_bps()),
+                monitor.host.received,
+                monitor.dma_drops_at_port,
+                "on" if monitor.enabled else "off",
+            ]
+        )
+    lines.append(
+        format_table(
+            ["port", "link", "tx pkts", "tx rate", "rx pkts", "rx rate", "captured", "drops", "capture"],
+            rows,
+        )
+    )
+    dma = device.dma
+    lines.append("")
+    lines.append(
+        f"host DMA: {dma.stats.delivered} delivered, {dma.stats.dropped} dropped, "
+        f"ring {dma.ring_occupancy}/{dma.ring_slots} "
+        f"(peak {dma.stats.peak_ring_occupancy})"
+    )
+    return "\n".join(lines)

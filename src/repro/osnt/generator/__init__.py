@@ -1,0 +1,67 @@
+"""OSNT traffic generation subsystem."""
+
+from .composite import CompositeSource, INTERNET_MIX, RandomSizeSource
+from .engine import GeneratorStats, PortGenerator
+from .field_modifiers import (
+    FieldModifier,
+    Ipv4AddressSweep,
+    SequenceNumber,
+    UdpPortSweep,
+    VlanIdRewrite,
+    fix_ipv4_checksum,
+    zero_l4_checksum,
+)
+from .schedule import (
+    Bursts,
+    ConstantBitRate,
+    ConstantGap,
+    ExplicitGaps,
+    LineRate,
+    PoissonGaps,
+    Schedule,
+    rate_for_load,
+)
+from .source import PacketListSource, PacketSource, PcapReplaySource, TemplateSource
+from .trafficmodels import MarkovOnOff
+from .tx_timestamp import (
+    DEFAULT_OFFSET,
+    STAMP_BYTES,
+    TxTimestamper,
+    embed_raw,
+    extract_ps,
+    extract_raw,
+)
+
+__all__ = [
+    "Bursts",
+    "CompositeSource",
+    "INTERNET_MIX",
+    "ConstantBitRate",
+    "ConstantGap",
+    "DEFAULT_OFFSET",
+    "ExplicitGaps",
+    "FieldModifier",
+    "GeneratorStats",
+    "Ipv4AddressSweep",
+    "LineRate",
+    "MarkovOnOff",
+    "PacketListSource",
+    "PacketSource",
+    "PcapReplaySource",
+    "PoissonGaps",
+    "PortGenerator",
+    "RandomSizeSource",
+    "STAMP_BYTES",
+    "Schedule",
+    "SequenceNumber",
+    "TemplateSource",
+    "TxTimestamper",
+    "UdpPortSweep",
+    "VlanIdRewrite",
+    "embed_raw",
+    "extract_ps",
+    "extract_raw",
+    "fix_ipv4_checksum",
+    "rate_for_load",
+    "zero_l4_checksum",
+]

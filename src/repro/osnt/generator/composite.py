@@ -1,0 +1,97 @@
+"""Multi-stream traffic composition.
+
+The OSNT generator supports several configured traffic streams per
+port, each with a share of the output. :class:`CompositeSource` mixes N
+sub-sources by integer weight using deterministic weighted round-robin
+(smooth WRR, the Nginx algorithm), so a 3:1 mix emits A,A,B,A,... with
+no random clumping and bit-identical order every run.
+:class:`RandomSizeSource` generates frames with sizes drawn from a
+seeded distribution — the "random size" mode of hardware testers.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ...errors import GeneratorError
+from ...net.builder import build_udp
+from ...net.packet import Packet
+from .source import PacketSource
+
+
+class CompositeSource(PacketSource):
+    """Deterministic weighted interleave of several sub-sources.
+
+    Each step picks the stream with the highest *current* weight
+    (current += its weight each round; winner pays the total), which
+    spreads streams as evenly as possible. A sub-source that runs out is
+    dropped from the rotation; the composite ends when all are dry.
+    """
+
+    def __init__(self, streams: Sequence[Tuple[PacketSource, int]]) -> None:
+        if not streams:
+            raise GeneratorError("composite needs at least one stream")
+        for __, weight in streams:
+            if weight < 1:
+                raise GeneratorError("stream weights must be >= 1")
+        self._streams: List[List] = [
+            [source, weight, 0, 0, False]  # source, weight, current, next_index, dry
+            for source, weight in streams
+        ]
+
+    def next_packet(self, index: int) -> Optional[Packet]:
+        while True:
+            live = [entry for entry in self._streams if not entry[4]]
+            if not live:
+                return None
+            total = sum(entry[1] for entry in live)
+            for entry in live:
+                entry[2] += entry[1]
+            winner = max(live, key=lambda entry: entry[2])
+            winner[2] -= total
+            packet = winner[0].next_packet(winner[3])
+            if packet is None:
+                winner[4] = True
+                continue
+            winner[3] += 1
+            return packet
+
+    def reset(self) -> None:
+        for entry in self._streams:
+            entry[0].reset()
+            entry[2] = 0
+            entry[3] = 0
+            entry[4] = False
+
+
+#: Classic internet frame-size mix as (size, weight) pairs — finer than
+#: the 7:4:1 IMIX pattern, usable with RandomSizeSource-style weighting.
+INTERNET_MIX = [(64, 50), (576, 30), (1518, 20)]
+
+
+class RandomSizeSource(PacketSource):
+    """UDP frames with sizes drawn from a weighted distribution."""
+
+    def __init__(
+        self,
+        size_weights: Sequence[Tuple[int, float]] = tuple(INTERNET_MIX),
+        count: Optional[int] = None,
+        rng: Optional[random.Random] = None,
+        **template_kwargs,
+    ) -> None:
+        if not size_weights:
+            raise GeneratorError("need at least one (size, weight) pair")
+        if any(weight <= 0 for __, weight in size_weights):
+            raise GeneratorError("size weights must be positive")
+        self.sizes = [size for size, __ in size_weights]
+        self.weights = [weight for __, weight in size_weights]
+        self.count = count
+        self._rng = rng or random.Random(0)
+        self._template_kwargs = template_kwargs
+
+    def next_packet(self, index: int) -> Optional[Packet]:
+        if self.count is not None and index >= self.count:
+            return None
+        size = self._rng.choices(self.sizes, weights=self.weights)[0]
+        return build_udp(frame_size=size, **self._template_kwargs)

@@ -1,0 +1,150 @@
+"""The per-port traffic generation engine.
+
+One :class:`PortGenerator` drives one 10G port: it pulls frames from a
+:class:`~repro.osnt.generator.source.PacketSource`, paces their start
+times with a :class:`~repro.osnt.generator.schedule.Schedule`, and pushes
+them into the port's TX MAC. The TX timestamper (when enabled) stamps at
+the MAC's start-of-frame hook — "just before the transmit 10GbE MAC",
+as the paper puts it — so queueing inside the engine never pollutes the
+embedded timestamps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ...errors import GeneratorError
+from ...hw.port import EthernetPort
+from ...hw.timestamp import TimestampUnit
+from ...sim import Signal, Simulator, spawn
+from .schedule import LineRate, Schedule
+from .source import PacketSource
+from .tx_timestamp import DEFAULT_OFFSET, TxTimestamper
+
+
+@dataclass
+class GeneratorStats:
+    sent: int = 0
+    sent_bytes: int = 0  # frame bytes incl. FCS
+    tx_fifo_drops: int = 0
+    started_at_ps: Optional[int] = None
+    finished_at_ps: Optional[int] = None
+
+    def achieved_bps(self) -> float:
+        """Average wire-payload rate over the active period."""
+        if self.started_at_ps is None or self.finished_at_ps is None:
+            return 0.0
+        elapsed = self.finished_at_ps - self.started_at_ps
+        if elapsed <= 0:
+            return 0.0
+        return self.sent_bytes * 8 * 1e12 / elapsed
+
+    def achieved_pps(self) -> float:
+        if self.started_at_ps is None or self.finished_at_ps is None:
+            return 0.0
+        elapsed = self.finished_at_ps - self.started_at_ps
+        if elapsed <= 0:
+            return 0.0
+        return self.sent * 1e12 / elapsed
+
+
+class PortGenerator:
+    """Paced replay of a packet source out of one port."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        port: EthernetPort,
+        timestamp_unit: TimestampUnit,
+        name: str = "gen",
+    ) -> None:
+        self.sim = sim
+        self.port = port
+        self.name = name
+        self.timestamper = TxTimestamper(timestamp_unit, enabled=False)
+        port.tx.on_start_of_frame = self.timestamper
+        self.stats = GeneratorStats()
+        self.source: Optional[PacketSource] = None
+        self.schedule: Schedule = LineRate(port.rate_bps)
+        self.limit_count: Optional[int] = None
+        self.limit_duration_ps: Optional[int] = None
+        self.done = Signal(f"{name}.done")
+        self.running = False
+        self._process = None
+
+    # -- configuration ---------------------------------------------------
+
+    def configure(
+        self,
+        source: PacketSource,
+        schedule: Optional[Schedule] = None,
+        count: Optional[int] = None,
+        duration_ps: Optional[int] = None,
+        embed_timestamps: bool = False,
+        timestamp_offset: int = DEFAULT_OFFSET,
+    ) -> None:
+        """Set up a run. Call :meth:`start` to begin transmitting."""
+        if self.running:
+            raise GeneratorError(f"{self.name}: cannot reconfigure while running")
+        self.source = source
+        self.schedule = schedule or LineRate(self.port.rate_bps)
+        self.limit_count = count
+        self.limit_duration_ps = duration_ps
+        self.timestamper.enabled = embed_timestamps
+        self.timestamper.offset = timestamp_offset
+
+    # -- control -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin transmitting at the current simulated time."""
+        if self.running:
+            raise GeneratorError(f"{self.name}: already running")
+        if self.source is None:
+            raise GeneratorError(f"{self.name}: configure() before start()")
+        self.running = True
+        self.stats = GeneratorStats()
+        self.schedule.reset()
+        self.source.reset()
+        self._process = spawn(self.sim, self._run(), name=self.name)
+
+    def stop(self) -> None:
+        """Abort the run; already-queued frames still drain from the MAC."""
+        if self._process is not None:
+            self._process.kill()
+        self._finish()
+
+    def _run(self):
+        stats = self.stats
+        stats.started_at_ps = self.sim.now
+        deadline = (
+            self.sim.now + self.limit_duration_ps
+            if self.limit_duration_ps is not None
+            else None
+        )
+        index = 0
+        while True:
+            if self.limit_count is not None and index >= self.limit_count:
+                break
+            if deadline is not None and self.sim.now >= deadline:
+                break
+            packet = self.source.next_packet(index)
+            if packet is None:
+                break
+            if self.port.send(packet):
+                stats.sent += 1
+                stats.sent_bytes += packet.frame_length
+            else:
+                stats.tx_fifo_drops += 1
+            index += 1
+            gap = self.schedule.gap_after(packet.frame_length)
+            if gap > 0:
+                yield gap
+        self._finish()
+
+    def _finish(self) -> None:
+        if not self.running:
+            return
+        self.running = False
+        self.stats.finished_at_ps = self.sim.now
+        self.done.fire(self.stats)

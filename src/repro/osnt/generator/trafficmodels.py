@@ -1,0 +1,64 @@
+"""Stochastic traffic models for the generator.
+
+Real traffic is bursty at every timescale; testers ship source models
+beyond CBR so DUT buffering is exercised realistically. This module
+adds the classic two-state Markov-modulated on/off source: exponential
+ON periods pacing packets at a peak rate, exponential OFF silences.
+Mean load = peak_rate × mean_on / (mean_on + mean_off).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ...errors import ConfigError
+from ...units import TEN_GBPS, frame_wire_bytes, wire_time_ps
+from .schedule import Schedule
+
+
+class MarkovOnOff(Schedule):
+    """Exponential on/off source, pacing at ``peak_bps`` while ON."""
+
+    def __init__(
+        self,
+        mean_on_ps: float,
+        mean_off_ps: float,
+        peak_bps: float = TEN_GBPS,
+        line_rate_bps: float = TEN_GBPS,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if mean_on_ps <= 0 or mean_off_ps <= 0:
+            raise ConfigError("on/off period means must be positive")
+        if peak_bps <= 0 or peak_bps > line_rate_bps:
+            raise ConfigError("peak rate must be in (0, line rate]")
+        self.mean_on_ps = mean_on_ps
+        self.mean_off_ps = mean_off_ps
+        self.peak_bps = peak_bps
+        self.line_rate_bps = line_rate_bps
+        self._rng = rng or random.Random(0)
+        self._on_budget_ps = 0.0
+
+    @property
+    def duty_cycle(self) -> float:
+        return self.mean_on_ps / (self.mean_on_ps + self.mean_off_ps)
+
+    @property
+    def mean_load(self) -> float:
+        """Long-run offered load as a fraction of line rate."""
+        return self.duty_cycle * self.peak_bps / self.line_rate_bps
+
+    def gap_after(self, frame_len: int) -> int:
+        on_gap = wire_time_ps(frame_wire_bytes(frame_len), self.peak_bps)
+        if self._on_budget_ps >= on_gap:
+            # Still inside the burst.
+            self._on_budget_ps -= on_gap
+            return on_gap
+        # Burst over: idle for an exponential OFF period, then draw the
+        # next burst's length.
+        off_gap = self._rng.expovariate(1.0 / self.mean_off_ps)
+        self._on_budget_ps = self._rng.expovariate(1.0 / self.mean_on_ps)
+        return round(on_gap + off_gap)
+
+    def reset(self) -> None:
+        self._on_budget_ps = 0.0

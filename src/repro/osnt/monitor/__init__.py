@@ -1,0 +1,20 @@
+"""OSNT traffic monitoring subsystem."""
+
+from .capture import CapturePipeline, HostCaptureBuffer, MonitorStats
+from .filters import DEFAULT_BANK_SIZE, FilterBank, FilterRule
+from .rates import RateMonitor, RateSample
+from .reducers import HashUnit, PacketCutter, Thinner
+
+__all__ = [
+    "CapturePipeline",
+    "DEFAULT_BANK_SIZE",
+    "FilterBank",
+    "FilterRule",
+    "HashUnit",
+    "HostCaptureBuffer",
+    "MonitorStats",
+    "PacketCutter",
+    "RateMonitor",
+    "RateSample",
+    "Thinner",
+]

@@ -1,0 +1,159 @@
+"""The per-port capture pipeline.
+
+Hardware order, as in the OSNT monitor design:
+
+    RX MAC → timestamp (64-bit, at receipt) → stats → filter bank
+           → hash → thin → cut → DMA ring → host buffer
+
+Timestamping happens first — "on receipt by the MAC module, thus
+minimising queueing noise" — so filter/DMA queueing can never perturb
+the recorded arrival times. Everything after the timestamp only decides
+*whether* and *how much of* the packet reaches the host.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ...hw.dma import DmaEngine
+from ...hw.port import EthernetPort
+from ...hw.timestamp import TimestampUnit
+from ...net.packet import Packet
+from ...net.pcap import PcapRecord, PcapWriter
+from ...sim import Simulator
+from .filters import FilterBank
+from .reducers import HashUnit, PacketCutter, Thinner
+
+
+class MonitorStats:
+    """Per-port monitor counters (the hardware stats module)."""
+
+    def __init__(self) -> None:
+        self.rx_packets = 0
+        self.rx_bytes = 0  # frame bytes incl. FCS
+        self.first_rx_ps: Optional[int] = None
+        self.last_rx_ps: Optional[int] = None
+
+    def note(self, now: int, frame_bytes: int) -> None:
+        self.rx_packets += 1
+        self.rx_bytes += frame_bytes
+        if self.first_rx_ps is None:
+            self.first_rx_ps = now
+        self.last_rx_ps = now
+
+    def observed_bps(self) -> float:
+        if self.first_rx_ps is None or self.last_rx_ps == self.first_rx_ps:
+            return 0.0
+        return self.rx_bytes * 8 * 1e12 / (self.last_rx_ps - self.first_rx_ps)
+
+
+class HostCaptureBuffer:
+    """Software end of the capture path: stores packets, fans out events."""
+
+    def __init__(self, keep_packets: bool = True) -> None:
+        self.keep_packets = keep_packets
+        self.packets: List[Packet] = []
+        self.received = 0
+        self._listeners: List[Callable[[Packet], None]] = []
+
+    def add_listener(self, listener: Callable[[Packet], None]) -> None:
+        self._listeners.append(listener)
+
+    def deliver(self, packet: Packet) -> None:
+        self.received += 1
+        if self.keep_packets:
+            self.packets.append(packet)
+        for listener in self._listeners:
+            listener(packet)
+
+    def clear(self) -> None:
+        self.packets.clear()
+        self.received = 0
+
+    def write_pcap(self, writer: PcapWriter) -> int:
+        """Dump buffered packets (RX-timestamped) to an open pcap writer."""
+        for packet in self.packets:
+            writer.write_packet(packet, packet.rx_timestamp or 0)
+        return len(self.packets)
+
+    def records(self) -> List[PcapRecord]:
+        return [
+            PcapRecord(
+                timestamp_ps=packet.rx_timestamp or 0,
+                data=packet.data[: packet.capture_length]
+                if packet.capture_length is not None
+                else packet.data,
+                orig_len=len(packet.data),
+            )
+            for packet in self.packets
+        ]
+
+
+class CapturePipeline:
+    """Wires one port's RX MAC through the monitor stages to the host."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        port: EthernetPort,
+        timestamp_unit: TimestampUnit,
+        dma: DmaEngine,
+        name: str = "mon",
+        port_index: Optional[int] = None,
+    ) -> None:
+        self.sim = sim
+        self.port = port
+        self.name = name
+        self.port_index = port_index
+        self.timestamp_unit = timestamp_unit
+        self.dma = dma
+        self.stats = MonitorStats()
+        self.filter_bank = FilterBank()
+        self.hash_unit: Optional[HashUnit] = None
+        self.thinner = Thinner()
+        self.cutter = PacketCutter()
+        self.host = HostCaptureBuffer()
+        self.enabled = False
+        self.dma_drops_at_port = 0
+        port.add_rx_sink(self._on_frame)
+        # A multi-port card shares one DMA engine; the device then owns
+        # the host-side demux. Standalone pipelines claim it themselves.
+        if dma.on_host_deliver is None:
+            dma.on_host_deliver = self._fanout_host
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def _on_frame(self, packet: Packet) -> None:
+        # Timestamp and count unconditionally: the stats module and the
+        # timestamp run even when host capture is disabled.
+        packet.rx_timestamp = self.timestamp_unit.now_ps()
+        if self.port_index is not None:
+            packet.ingress_port = self.port_index
+        self.stats.note(self.sim.now, packet.frame_length)
+        if not self.enabled:
+            return
+        if not self.filter_bank.decide(packet.data):
+            return
+        if self.hash_unit is not None:
+            self.hash_unit.apply(packet)
+        if not self.thinner.decide():
+            return
+        self.cutter.apply(packet)
+        if not self.dma.enqueue(packet):
+            self.dma_drops_at_port += 1
+
+    def _fanout_host(self, packet: Packet) -> None:
+        self.host.deliver(packet)
+
+    @property
+    def captured(self) -> int:
+        return self.host.received
+
+    @property
+    def dropped(self) -> int:
+        """Capture-path losses (DMA ring overflow)."""
+        return self.dma.stats.dropped

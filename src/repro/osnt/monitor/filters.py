@@ -1,0 +1,125 @@
+"""Wildcard packet filters (the monitor's TCAM filter bank).
+
+The OSNT monitor provides "wildcard-enabled packet filters" in hardware:
+a small TCAM matching on the 5-tuple, where any field may be masked.
+Entries are priority-ordered (lowest index wins, like TCAM rows); a
+packet matching an entry takes that entry's action, otherwise the bank's
+default action applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ...errors import CaptureError
+from ...net.fields import ipv4_to_int
+from ...net.flows import FiveTuple
+from ...net.parser import decode
+
+#: Hardware bank depth on the NetFPGA-10G design.
+DEFAULT_BANK_SIZE = 16
+
+
+@dataclass
+class FilterRule:
+    """One TCAM row. ``None`` in a field means wildcard.
+
+    IPv4 prefixes are expressed with ``*_prefix_len`` (0-32); a prefix
+    length of 32 matches the exact address.
+    """
+
+    src_ip: Optional[str] = None
+    src_prefix_len: int = 32
+    dst_ip: Optional[str] = None
+    dst_prefix_len: int = 32
+    protocol: Optional[int] = None
+    src_port: Optional[int] = None
+    dst_port: Optional[int] = None
+    action_pass: bool = True
+
+    def __post_init__(self) -> None:
+        for length in (self.src_prefix_len, self.dst_prefix_len):
+            if not 0 <= length <= 32:
+                raise CaptureError(f"bad prefix length {length}")
+
+    def matches(self, tup: Optional[FiveTuple]) -> bool:
+        if tup is None:
+            # Non-IP traffic only matches the all-wildcard rule.
+            return (
+                self.src_ip is None
+                and self.dst_ip is None
+                and self.protocol is None
+                and self.src_port is None
+                and self.dst_port is None
+            )
+        if self.protocol is not None and tup.protocol != self.protocol:
+            return False
+        if self.src_port is not None and tup.src_port != self.src_port:
+            return False
+        if self.dst_port is not None and tup.dst_port != self.dst_port:
+            return False
+        if self.src_ip is not None and not _prefix_match(
+            tup.src_ip, self.src_ip, self.src_prefix_len
+        ):
+            return False
+        if self.dst_ip is not None and not _prefix_match(
+            tup.dst_ip, self.dst_ip, self.dst_prefix_len
+        ):
+            return False
+        return True
+
+
+def _prefix_match(address: str, prefix: str, prefix_len: int) -> bool:
+    if prefix_len == 0:
+        return True
+    mask = ((1 << prefix_len) - 1) << (32 - prefix_len)
+    try:
+        return (ipv4_to_int(address) & mask) == (ipv4_to_int(prefix) & mask)
+    except Exception:
+        return False
+
+
+class FilterBank:
+    """Priority-ordered rule table with a default action."""
+
+    def __init__(self, size: int = DEFAULT_BANK_SIZE, default_pass: bool = True) -> None:
+        if size < 1:
+            raise CaptureError("filter bank needs at least one entry")
+        self.size = size
+        self.default_pass = default_pass
+        self.rules: List[FilterRule] = []
+        self.matched = 0
+        self.passed = 0
+        self.filtered = 0
+
+    def add_rule(self, rule: FilterRule) -> int:
+        """Append a rule; returns its row index."""
+        if len(self.rules) >= self.size:
+            raise CaptureError(f"filter bank full ({self.size} entries)")
+        self.rules.append(rule)
+        return len(self.rules) - 1
+
+    def clear(self) -> None:
+        self.rules.clear()
+
+    def decide(self, data: bytes) -> bool:
+        """True if the frame should pass to the capture path."""
+        tup = None
+        decoded = decode(data)
+        if decoded.ipv4 is not None or decoded.ipv6 is not None:
+            from ...net.flows import extract_five_tuple
+
+            tup = extract_five_tuple(decoded)
+        for rule in self.rules:
+            if rule.matches(tup):
+                self.matched += 1
+                verdict = rule.action_pass
+                break
+        else:
+            verdict = self.default_pass
+        if verdict:
+            self.passed += 1
+        else:
+            self.filtered += 1
+        return verdict

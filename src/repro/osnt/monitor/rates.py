@@ -1,0 +1,99 @@
+"""The monitor's rate-statistics engine.
+
+The OSNT monitor exposes per-port statistics beyond raw counters: the
+hardware samples packet/byte counts on a fixed interval so software can
+read achieved rates without sitting in the datapath. The model samples
+any counter source (a MAC's stats, the capture pipeline's stats) on a
+daemon timer and keeps a bounded history of per-interval rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+from ...errors import ConfigError
+from ...sim import Simulator
+from ...units import ms
+
+#: Counter source: returns (packets, bytes) cumulative totals.
+CounterReader = Callable[[], Tuple[int, int]]
+
+
+@dataclass
+class RateSample:
+    """One sampling interval's activity."""
+
+    time_ps: int  # end of the interval
+    packets: int  # packets seen during the interval
+    bytes: int  # frame bytes seen during the interval
+    pps: float
+    bps: float
+
+
+class RateMonitor:
+    """Periodic rate sampler over a cumulative counter source."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        read_counters: CounterReader,
+        interval_ps: int = ms(1),
+        history: int = 1024,
+    ) -> None:
+        if interval_ps <= 0:
+            raise ConfigError("sampling interval must be positive")
+        if history < 1:
+            raise ConfigError("history must hold at least one sample")
+        self.sim = sim
+        self.read_counters = read_counters
+        self.interval_ps = interval_ps
+        self.history = history
+        self.samples: List[RateSample] = []
+        self.running = False
+        self._last_packets = 0
+        self._last_bytes = 0
+
+    def start(self) -> None:
+        if self.running:
+            return
+        self.running = True
+        self._last_packets, self._last_bytes = self.read_counters()
+        self.sim.call_after(self.interval_ps, self._tick, daemon=True)
+
+    def stop(self) -> None:
+        self.running = False
+
+    def _tick(self) -> None:
+        if not self.running:
+            return
+        packets, nbytes = self.read_counters()
+        delta_packets = packets - self._last_packets
+        delta_bytes = nbytes - self._last_bytes
+        self._last_packets, self._last_bytes = packets, nbytes
+        self.samples.append(
+            RateSample(
+                time_ps=self.sim.now,
+                packets=delta_packets,
+                bytes=delta_bytes,
+                pps=delta_packets * 1e12 / self.interval_ps,
+                bps=delta_bytes * 8 * 1e12 / self.interval_ps,
+            )
+        )
+        if len(self.samples) > self.history:
+            del self.samples[: len(self.samples) - self.history]
+        self.sim.call_after(self.interval_ps, self._tick, daemon=True)
+
+    # -- convenience accessors -------------------------------------------------
+
+    def peak_bps(self) -> float:
+        return max((sample.bps for sample in self.samples), default=0.0)
+
+    def mean_bps(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(sample.bps for sample in self.samples) / len(self.samples)
+
+    def busy_intervals(self) -> int:
+        """Intervals in which any traffic was observed."""
+        return sum(1 for sample in self.samples if sample.packets)

@@ -1,0 +1,26 @@
+"""Discrete-event simulation kernel (picosecond integer time).
+
+Public surface:
+
+* :class:`Simulator` — clock + event queue.
+* :class:`Event` — handle returned by scheduling calls.
+* :func:`spawn` / :class:`Process` / :class:`Signal` — generator processes.
+* :class:`RandomStreams` — named, seeded randomness.
+"""
+
+from .events import Event, PRIORITY_HIGH, PRIORITY_LOW, PRIORITY_NORMAL
+from .kernel import Simulator
+from .process import Process, Signal, spawn
+from .random import RandomStreams
+
+__all__ = [
+    "Event",
+    "PRIORITY_HIGH",
+    "PRIORITY_LOW",
+    "PRIORITY_NORMAL",
+    "Process",
+    "RandomStreams",
+    "Signal",
+    "Simulator",
+    "spawn",
+]

@@ -1,0 +1,130 @@
+"""Event objects and the event queue for the discrete-event kernel.
+
+Events are ordered by ``(time, priority, sequence)``. The sequence number
+makes ordering total and deterministic: two events scheduled for the same
+time and priority fire in the order they were scheduled, on every run.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from ..errors import SimulationError
+
+#: Default event priority. Lower fires first at equal timestamps.
+PRIORITY_NORMAL = 100
+#: Used by hardware models that must observe state before normal events.
+PRIORITY_HIGH = 10
+#: Used by bookkeeping (stats snapshots) that must run after normal events.
+PRIORITY_LOW = 1000
+
+
+class Event:
+    """A scheduled callback. Created by the simulator, not directly.
+
+    The public surface is :meth:`cancel` and the :attr:`cancelled` /
+    :attr:`fired` flags; everything else is kernel internals.
+
+    A *daemon* event (like a GPS pulse-per-second tick) does not keep an
+    open-ended ``run()`` alive: when only daemon events remain, the
+    simulation is considered drained.
+    """
+
+    __slots__ = (
+        "time",
+        "priority",
+        "seq",
+        "callback",
+        "args",
+        "cancelled",
+        "fired",
+        "daemon",
+    )
+
+    def __init__(
+        self,
+        time: int,
+        priority: int,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple,
+        daemon: bool = False,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+        self.daemon = daemon
+
+    def cancel(self) -> None:
+        """Prevent the event from firing. Idempotent before firing."""
+        if self.fired:
+            raise SimulationError("cannot cancel an event that already fired")
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"<Event t={self.time} prio={self.priority} {name} {state}>"
+
+
+class EventQueue:
+    """A binary-heap priority queue of :class:`Event` objects.
+
+    Cancelled events stay in the heap and are skipped on pop (lazy
+    deletion) — cancellation is O(1), pop stays O(log n) amortised.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._live = 0
+        self._live_foreground = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    @property
+    def live_foreground(self) -> int:
+        """Live events that keep an open-ended run() going (non-daemon)."""
+        return self._live_foreground
+
+    def push(self, event: Event) -> None:
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        if not event.daemon:
+            self._live_foreground += 1
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next live event, or ``None`` if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            if not event.daemon:
+                self._live_foreground -= 1
+            return event
+        return None
+
+    def peek_time(self) -> Optional[int]:
+        """Timestamp of the next live event, or ``None`` if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def note_cancelled(self, event: Event) -> None:
+        """Tell the queue one of its events was cancelled (for len())."""
+        self._live -= 1
+        if not event.daemon:
+            self._live_foreground -= 1

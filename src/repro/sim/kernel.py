@@ -1,0 +1,148 @@
+"""The discrete-event simulation kernel.
+
+A :class:`Simulator` owns the virtual clock (integer picoseconds) and the
+event queue. Components schedule callbacks with :meth:`Simulator.call_at`
+/ :meth:`Simulator.call_after`, or run generator-based *processes*
+(see :mod:`repro.sim.process`) for sequential logic.
+
+Determinism: the run order of same-timestamp events is fixed by
+``(priority, scheduling order)``, and all randomness comes from seeded
+:class:`~repro.sim.random.RandomStreams`. The same configuration always
+produces bit-identical results.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..errors import SimulationError
+from .events import Event, EventQueue, PRIORITY_NORMAL
+
+
+class Simulator:
+    """Discrete-event simulator with an integer-picosecond clock."""
+
+    def __init__(self) -> None:
+        self._now: int = 0
+        self._queue = EventQueue()
+        self._seq: int = 0
+        self._running = False
+        self._stop_requested = False
+        self.events_processed: int = 0
+
+    # -- clock ---------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in picoseconds."""
+        return self._now
+
+    # -- scheduling ------------------------------------------------------
+
+    def call_at(
+        self,
+        time_ps: int,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+        daemon: bool = False,
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute time ``time_ps``.
+
+        ``daemon=True`` marks background housekeeping (periodic clock
+        ticks, stats snapshots): an open-ended :meth:`run` stops once
+        only daemon events remain.
+        """
+        if time_ps < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time_ps} ps; now is {self._now} ps"
+            )
+        self._seq += 1
+        event = Event(time_ps, priority, self._seq, callback, args, daemon=daemon)
+        self._queue.push(event)
+        return event
+
+    def call_after(
+        self,
+        delay_ps: int,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+        daemon: bool = False,
+    ) -> Event:
+        """Schedule ``callback(*args)`` after a relative delay."""
+        if delay_ps < 0:
+            raise SimulationError(f"negative delay: {delay_ps} ps")
+        return self.call_at(
+            self._now + delay_ps, callback, *args, priority=priority, daemon=daemon
+        )
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event scheduled on this simulator."""
+        event.cancel()
+        self._queue.note_cancelled(event)
+
+    # -- execution -------------------------------------------------------
+
+    def step(self) -> bool:
+        """Fire the next event. Returns ``False`` when the queue is empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        if event.time < self._now:  # pragma: no cover - internal invariant
+            raise SimulationError("event queue produced an event in the past")
+        self._now = event.time
+        event.fired = True
+        self.events_processed += 1
+        event.callback(*event.args)
+        return True
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have fired.
+
+        ``until`` is an absolute simulated time; when given, the clock is
+        advanced to exactly ``until`` even if the queue drains earlier.
+        Returns the number of events processed by this call.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"cannot run until t={until} ps; now is {self._now} ps"
+            )
+        self._running = True
+        self._stop_requested = False
+        fired = 0
+        try:
+            while not self._stop_requested:
+                if max_events is not None and fired >= max_events:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                # Open-ended runs stop when only daemon housekeeping
+                # (e.g. GPS pulse-per-second ticks) remains.
+                if until is None and self._queue.live_foreground == 0:
+                    break
+                self.step()
+                fired += 1
+        finally:
+            self._running = False
+        if until is not None and not self._stop_requested:
+            self._now = max(self._now, until)
+        return fired
+
+    def run_for(self, duration_ps: int, max_events: Optional[int] = None) -> int:
+        """Run for a relative duration of simulated time."""
+        return self.run(until=self._now + duration_ps, max_events=max_events)
+
+    def stop(self) -> None:
+        """Request that the current :meth:`run` loop stop after this event."""
+        self._stop_requested = True
+
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled, unfired) events."""
+        return len(self._queue)

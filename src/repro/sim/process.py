@@ -1,0 +1,108 @@
+"""Generator-based simulation processes.
+
+Hardware pipelines are naturally sequential ("receive, wait the lookup
+delay, enqueue"), which reads badly as callback chains. A *process* is a
+generator driven by the kernel; it yields what it wants to wait for:
+
+* an ``int`` — sleep that many picoseconds;
+* a :class:`Signal` — park until another component fires it.
+
+Example::
+
+    def refill(sim, bucket):
+        while True:
+            yield 1000          # every nanosecond
+            bucket.add_tokens(1)
+
+    spawn(sim, refill(sim, bucket))
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterator, List, Optional, Union
+
+from ..errors import SimulationError
+from .kernel import Simulator
+
+
+class Signal:
+    """A one-to-many wait point. Processes yield it; someone fires it.
+
+    A fire wakes every process currently waiting and passes them the
+    fired ``value``. Signals are reusable: new waiters can park after a
+    fire and will be woken by the next one.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._waiters: List["Process"] = []
+
+    def fire(self, value: Any = None) -> int:
+        """Wake all current waiters, passing ``value``. Returns the count."""
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            process._wake(value)
+        return len(waiters)
+
+    def _park(self, process: "Process") -> None:
+        self._waiters.append(process)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Signal {self.name!r} waiters={len(self._waiters)}>"
+
+
+Yieldable = Union[int, Signal]
+
+
+class Process:
+    """A running generator process bound to a simulator."""
+
+    def __init__(self, sim: Simulator, generator: Generator[Yieldable, Any, Any], name: str = "") -> None:
+        self.sim = sim
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator: Optional[Iterator] = generator
+        self.finished = False
+        self.result: Any = None
+
+    def _start(self) -> None:
+        # First advance happens via an immediate event so spawn() returns
+        # before any process code runs — scheduling order stays explicit.
+        self.sim.call_after(0, self._advance, None)
+
+    def _advance(self, send_value: Any) -> None:
+        if self.finished or self._generator is None:
+            return
+        try:
+            wanted = self._generator.send(send_value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            self._generator = None
+            return
+        if isinstance(wanted, int):
+            if wanted < 0:
+                raise SimulationError(f"process {self.name!r} yielded negative delay")
+            self.sim.call_after(wanted, self._advance, None)
+        elif isinstance(wanted, Signal):
+            wanted._park(self)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded {wanted!r}; expected int or Signal"
+            )
+
+    def _wake(self, value: Any) -> None:
+        # Wake via the event queue, not synchronously, so all waiters of
+        # one fire() run in deterministic scheduling order.
+        self.sim.call_after(0, self._advance, value)
+
+    def kill(self) -> None:
+        """Terminate the process; it will not run again."""
+        self.finished = True
+        self._generator = None
+
+
+def spawn(sim: Simulator, generator: Generator[Yieldable, Any, Any], name: str = "") -> Process:
+    """Create and start a :class:`Process` on ``sim``."""
+    process = Process(sim, generator, name=name)
+    process._start()
+    return process

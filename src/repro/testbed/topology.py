@@ -1,0 +1,102 @@
+"""Testbed topologies — the wiring in the demo's Figure 2.
+
+Both demo parts use the same physical shape: one OSNT port transmits
+into the device under test, another OSNT port captures what comes out.
+Part II adds the OpenFlow control channel (OFLOPS-turbo host ↔ switch)
+and an SNMP channel.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..devices.legacy_switch import LegacySwitch
+from ..devices.openflow_switch import OpenFlowSwitch, SwitchProfile
+from ..devices.snmp_agent import SnmpAgent
+from ..hw.port import connect
+from ..openflow.connection import ControlChannel
+from ..osnt.api import OSNT, TrafficGenerator, TrafficMonitor
+from ..sim import Simulator
+from ..units import us
+
+
+class LegacySwitchTestbed:
+    """Part I: OSNT ↔ legacy switch.
+
+    * OSNT port 0 → switch port 0 (traffic in)
+    * switch port 1 → OSNT port 1 (traffic out, captured)
+    * optionally OSNT ports 2/3 ↔ switch ports 2/3 for cross traffic
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        switch: Optional[LegacySwitch] = None,
+        wire_cross_ports: bool = False,
+        **osnt_kwargs,
+    ) -> None:
+        self.sim = sim
+        self.tester = OSNT(sim, **osnt_kwargs)
+        self.switch = switch or LegacySwitch(sim)
+        connect(self.tester.port(0), self.switch.port(0))
+        connect(self.tester.port(1), self.switch.port(1))
+        if wire_cross_ports:
+            connect(self.tester.port(2), self.switch.port(2))
+            connect(self.tester.port(3), self.switch.port(3))
+        self.generator: TrafficGenerator = self.tester.generator(0)
+        self.monitor: TrafficMonitor = self.tester.monitor(1)
+
+    def teach_mac_table(self, dst_mac: str) -> None:
+        """Prime the switch so test traffic is unicast, not flooded.
+
+        Sends one frame *from* ``dst_mac`` out of the capture-side OSNT
+        port, exactly as the OSNT tools do before a latency run.
+        """
+        from ..net.builder import build_udp
+
+        learning = build_udp(src_mac=dst_mac, dst_mac="02:ff:ff:ff:ff:fe")
+        self.tester.port(1).send(learning)
+        self.sim.run(until=self.sim.now + us(10))
+
+
+class OpenFlowTestbed:
+    """Part II: OSNT ↔ OpenFlow switch + control channel + SNMP.
+
+    The controller endpoint is left unwired (``on_message`` unset): the
+    OFLOPS-turbo context claims it when a measurement module starts.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        profile: Optional[SwitchProfile] = None,
+        control_latency_ps: int = us(50),
+        num_switch_ports: int = 4,
+        wire_cross_ports: bool = False,
+        **osnt_kwargs,
+    ) -> None:
+        self.sim = sim
+        self.channel = ControlChannel(sim, latency_ps=control_latency_ps)
+        self.switch = OpenFlowSwitch(
+            sim,
+            self.channel.switch,
+            num_ports=num_switch_ports,
+            profile=profile,
+        )
+        self.tester = OSNT(sim, **osnt_kwargs)
+        connect(self.tester.port(0), self.switch.port(0))
+        connect(self.tester.port(1), self.switch.port(1))
+        if wire_cross_ports and num_switch_ports >= 4:
+            connect(self.tester.port(2), self.switch.port(2))
+            connect(self.tester.port(3), self.switch.port(3))
+        self.snmp = SnmpAgent(sim, self.switch.ports)
+        self.generator: TrafficGenerator = self.tester.generator(0)
+        self.monitor: TrafficMonitor = self.tester.monitor(1)
+        #: OF port numbers of the wired data path (1-based).
+        self.ingress_of_port = 1
+        self.egress_of_port = 2
+
+    @property
+    def controller(self):
+        """The controller end of the OpenFlow control channel."""
+        return self.channel.controller

@@ -1,0 +1,150 @@
+"""Time, size and rate units used throughout the simulator.
+
+Simulated time is an **integer number of picoseconds**. Floating point
+would accumulate rounding error over the billions of events in a
+line-rate run; integers keep the hardware's 6.25 ns timestamp
+quantisation exact (6.25 ns == 6250 ps, an integer).
+
+Rates are expressed in bits per second (plain ints/floats); helpers
+convert between rates, byte counts and wire times.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .errors import ConfigError
+
+# -- time ------------------------------------------------------------------
+
+#: Picoseconds per common unit.
+PS_PER_NS = 1_000
+PS_PER_US = 1_000_000
+PS_PER_MS = 1_000_000_000
+PS_PER_SEC = 1_000_000_000_000
+
+
+def ns(value: float) -> int:
+    """Convert nanoseconds to integer picoseconds."""
+    return round(value * PS_PER_NS)
+
+
+def us(value: float) -> int:
+    """Convert microseconds to integer picoseconds."""
+    return round(value * PS_PER_US)
+
+
+def ms(value: float) -> int:
+    """Convert milliseconds to integer picoseconds."""
+    return round(value * PS_PER_MS)
+
+
+def seconds(value: float) -> int:
+    """Convert seconds to integer picoseconds."""
+    return round(value * PS_PER_SEC)
+
+
+def to_seconds(ps: int) -> float:
+    """Convert integer picoseconds to float seconds (for reporting)."""
+    return ps / PS_PER_SEC
+
+
+def to_ns(ps: int) -> float:
+    """Convert integer picoseconds to float nanoseconds (for reporting)."""
+    return ps / PS_PER_NS
+
+
+def to_us(ps: int) -> float:
+    """Convert integer picoseconds to float microseconds (for reporting)."""
+    return ps / PS_PER_US
+
+
+# -- rates -----------------------------------------------------------------
+
+KBPS = 1_000
+MBPS = 1_000_000
+GBPS = 1_000_000_000
+
+#: 10GbE payload data rate (the rate at which frame bytes leave the MAC).
+TEN_GBPS = 10 * GBPS
+
+_RATE_RE = re.compile(
+    r"""^\s*(?P<num>\d+(?:\.\d+)?)\s*
+        (?P<unit>[kmg]?)(?:bps|bit/?s)?\s*$""",
+    re.IGNORECASE | re.VERBOSE,
+)
+
+_RATE_MULTIPLIERS = {"": 1, "k": KBPS, "m": MBPS, "g": GBPS}
+
+
+def parse_rate(text: str) -> float:
+    """Parse a human rate string such as ``"10Gbps"`` or ``"500 Mbps"``.
+
+    Returns bits per second. Raises :class:`ConfigError` on bad input.
+    """
+    match = _RATE_RE.match(text)
+    if match is None:
+        raise ConfigError(f"unparseable rate: {text!r}")
+    multiplier = _RATE_MULTIPLIERS[match.group("unit").lower()]
+    return float(match.group("num")) * multiplier
+
+
+def format_rate(bps: float) -> str:
+    """Render a bits-per-second value as a human string."""
+    for unit, factor in (("Gbps", GBPS), ("Mbps", MBPS), ("Kbps", KBPS)):
+        if bps >= factor:
+            return f"{bps / factor:.3f} {unit}"
+    return f"{bps:.0f} bps"
+
+
+def wire_time_ps(nbytes: int, rate_bps: float) -> int:
+    """Time to serialize ``nbytes`` at ``rate_bps``, in integer ps.
+
+    Rounds to the nearest picosecond; at 10 Gbps one byte is exactly
+    800 ps so common cases stay exact.
+    """
+    if rate_bps <= 0:
+        raise ConfigError(f"rate must be positive, got {rate_bps}")
+    return round(nbytes * 8 * PS_PER_SEC / rate_bps)
+
+
+def bytes_per_ps(rate_bps: float) -> float:
+    """Bytes transferred per picosecond at the given bit rate."""
+    return rate_bps / 8 / PS_PER_SEC
+
+
+# -- Ethernet framing constants ---------------------------------------------
+
+#: Preamble (7) + start-frame delimiter (1).
+ETH_PREAMBLE_BYTES = 8
+#: Minimum inter-frame gap on the wire.
+ETH_IFG_BYTES = 12
+#: Frame check sequence appended by the MAC.
+ETH_FCS_BYTES = 4
+#: Minimum/maximum Ethernet frame sizes *including* FCS.
+ETH_MIN_FRAME = 64
+ETH_MAX_FRAME = 1518
+#: Per-frame wire overhead beyond the frame bytes themselves.
+ETH_OVERHEAD_BYTES = ETH_PREAMBLE_BYTES + ETH_IFG_BYTES
+
+
+def frame_wire_bytes(frame_len: int) -> int:
+    """Bytes occupied on the wire by one frame (frame + preamble + IFG).
+
+    ``frame_len`` includes the FCS (as captured frame lengths do in
+    OSNT). Frames below the Ethernet minimum are padded by the MAC.
+    """
+    return max(frame_len, ETH_MIN_FRAME) + ETH_OVERHEAD_BYTES
+
+
+def line_rate_pps(frame_len: int, rate_bps: float = TEN_GBPS) -> float:
+    """Theoretical maximum packets/second for a frame size at a rate.
+
+    For 64-byte frames at 10 Gbps this is the canonical 14.88 Mpps.
+    """
+    return rate_bps / (frame_wire_bytes(frame_len) * 8)
+
+
+def line_rate_goodput_bps(frame_len: int, rate_bps: float = TEN_GBPS) -> float:
+    """Theoretical maximum frame-byte throughput (bps) for a frame size."""
+    return line_rate_pps(frame_len, rate_bps) * frame_len * 8

@@ -1,0 +1,180 @@
+"""Tests for the osnt-gen / osnt-mon / oflops-turbo command-line tools."""
+
+import re
+
+import pytest
+
+from repro.net import PcapRecord, build_udp, read_pcap, write_pcap
+from repro.oflops.cli import main as oflops_main
+from repro.osnt.cli import gen_main, mon_main
+from repro.units import us
+
+
+class TestOsntGen:
+    def test_synthetic_run_summary(self, capsys):
+        assert gen_main(["--frame-size", "128", "--rate", "1Gbps", "--count", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "packets sent" in out
+        assert "50" in out
+
+    def test_capture_file_written(self, tmp_path, capsys):
+        path = tmp_path / "cap.pcap"
+        gen_main(
+            ["--frame-size", "256", "--count", "20", "--timestamp", "--capture", str(path)]
+        )
+        records = read_pcap(path)
+        assert len(records) == 20
+        assert all(len(r.data) == 252 for r in records)  # 256 - FCS
+        timestamps = [r.timestamp_ps for r in records]
+        assert timestamps == sorted(timestamps)
+
+    def test_replay_mode(self, tmp_path, capsys):
+        source = tmp_path / "in.pcap"
+        write_pcap(
+            source,
+            [
+                PcapRecord(timestamp_ps=i * us(10), data=build_udp(frame_size=100).data)
+                for i in range(5)
+            ],
+        )
+        assert gen_main(["--replay", str(source), "--loop", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "10" in out  # 5 frames x 2 loops
+
+    def test_duration_mode(self, capsys):
+        assert gen_main(["--rate", "2Gbps", "--duration-ms", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "achieved rate" in out
+
+
+class TestOsntMon:
+    def make_input(self, tmp_path):
+        path = tmp_path / "in.pcap"
+        records = []
+        for index in range(40):
+            frame = build_udp(
+                frame_size=512,
+                dst_port=53 if index % 4 == 0 else 9999,
+                dst_ip="10.0.0.2" if index % 2 == 0 else "10.9.9.9",
+            )
+            records.append(PcapRecord(timestamp_ps=index * us(1), data=frame.data))
+        write_pcap(path, records)
+        return path
+
+    def test_passthrough_stats(self, tmp_path, capsys):
+        path = self.make_input(tmp_path)
+        assert mon_main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "packets in" in out
+        assert "packets out             40" in out
+
+    def test_filter_by_port(self, tmp_path, capsys):
+        path = self.make_input(tmp_path)
+        out_path = tmp_path / "out.pcap"
+        mon_main([str(path), "--dst-port", "53", "--output", str(out_path)])
+        records = read_pcap(out_path)
+        assert len(records) == 10
+        from repro.net import decode
+
+        assert all(decode(r.data).udp.dst_port == 53 for r in records)
+
+    def test_prefix_filter(self, tmp_path, capsys):
+        path = self.make_input(tmp_path)
+        out_path = tmp_path / "out.pcap"
+        mon_main([str(path), "--dst-ip", "10.0.0.0/24", "--output", str(out_path)])
+        assert len(read_pcap(out_path)) == 20
+
+    def test_cut_and_thin(self, tmp_path, capsys):
+        path = self.make_input(tmp_path)
+        out_path = tmp_path / "out.pcap"
+        mon_main([str(path), "--snaplen", "64", "--thin", "4", "--output", str(out_path)])
+        records = read_pcap(out_path)
+        assert len(records) == 10
+        assert all(len(r.data) == 64 for r in records)
+        assert all(r.original_length == 508 for r in records)
+
+    def test_reduction_summary(self, tmp_path, capsys):
+        path = self.make_input(tmp_path)
+        mon_main([str(path), "--snaplen", "64"])
+        out = capsys.readouterr().out
+        assert "host-load reduction" in out
+
+
+class TestOflopsCli:
+    def test_single_module(self, capsys):
+        assert oflops_main(["echo_latency"]) == 0
+        out = capsys.readouterr().out
+        assert "== echo_latency ==" in out
+        assert "rtt_mean_us" in out
+
+    def test_barrier_mode_flag(self, capsys):
+        assert (
+            oflops_main(
+                ["flow_mod_latency", "--barrier-mode", "eager", "--rules", "4"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "eager" in out
+
+    def test_unknown_module_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            oflops_main(["not_a_module"])
+
+
+class TestOsntMonFlows:
+    def test_top_flows_table(self, tmp_path, capsys):
+        path = tmp_path / "in.pcap"
+        records = []
+        for index in range(30):
+            frame = build_udp(frame_size=200, dst_port=7000 + index % 3)
+            records.append(PcapRecord(timestamp_ps=index * us(5), data=frame.data))
+        write_pcap(path, records)
+        assert mon_main([str(path), "--flows", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "top 2 flows (3 total)" in out
+        assert "proto=17" in out
+
+
+class TestPcapngInterop:
+    def test_mon_reads_pcapng(self, tmp_path, capsys):
+        from repro.net import write_pcapng
+
+        path = tmp_path / "in.pcapng"
+        records = [
+            PcapRecord(timestamp_ps=i * us(5), data=build_udp(frame_size=120).data)
+            for i in range(8)
+        ]
+        write_pcapng(path, records)
+        assert mon_main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert re.search(r"packets out\s+8", out)
+
+    def test_gen_replays_pcapng(self, tmp_path, capsys):
+        from repro.net import write_pcapng
+
+        path = tmp_path / "in.pcapng"
+        write_pcapng(
+            path,
+            [
+                PcapRecord(timestamp_ps=i * us(20), data=build_udp(frame_size=100).data)
+                for i in range(6)
+            ],
+        )
+        assert gen_main(["--replay", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "6" in out
+
+
+class TestDutPresets:
+    def test_named_profile(self, capsys):
+        assert oflops_main(["echo_latency", "--dut", "soft-switch"]) == 0
+        out = capsys.readouterr().out
+        assert "rtt_mean_us" in out
+
+    def test_profiles_registry(self):
+        from repro.devices import PROFILES
+
+        assert set(PROFILES) == {"soft-switch", "hw-fast-cpu", "hw-slow-cpu", "hw-eager"}
+        assert PROFILES["hw-eager"].barrier_mode == "eager"
+        assert PROFILES["soft-switch"].table_write_ps < PROFILES["hw-fast-cpu"].table_write_ps

@@ -1,0 +1,273 @@
+"""Tests for the legacy L2 switch, SNMP agent and simple host."""
+
+import pytest
+
+from repro.devices import LegacySwitch, MacTable, SimpleHost, SnmpAgent
+from repro.devices.snmp_agent import (
+    OID_IF_IN_UCAST,
+    OID_IF_OUT_UCAST,
+    OID_SYS_DESCR,
+)
+from repro.errors import ConfigError, SnmpError
+from repro.hw import EthernetPort, connect
+from repro.net import build_arp_request, build_icmp_echo, build_udp, decode
+from repro.sim import RandomStreams, Simulator
+from repro.units import ms, ns, seconds, us
+
+
+def rig(sim, num_ports=4, **kwargs):
+    """A switch with a plain endpoint port attached to each switch port."""
+    kwargs.setdefault("latency_jitter_ps", 0)
+    switch = LegacySwitch(sim, num_ports=num_ports, **kwargs)
+    endpoints = []
+    for index in range(num_ports):
+        endpoint = EthernetPort(sim, f"h{index}")
+        connect(endpoint, switch.port(index), propagation_ps=0)
+        endpoints.append(endpoint)
+    return switch, endpoints
+
+
+def mac(index):
+    return f"02:00:00:00:00:{index:02x}"
+
+
+class TestMacTable:
+    def test_learn_and_lookup(self):
+        table = MacTable()
+        table.learn("02:00:00:00:00:01", 3, now=0)
+        assert table.lookup("02:00:00:00:00:01", now=100) == 3
+
+    def test_aging(self):
+        table = MacTable(aging_ps=seconds(1))
+        table.learn("02:00:00:00:00:01", 3, now=0)
+        assert table.lookup("02:00:00:00:00:01", now=seconds(2)) is None
+
+    def test_relearn_moves_port(self):
+        table = MacTable()
+        table.learn("02:00:00:00:00:01", 3, now=0)
+        table.learn("02:00:00:00:00:01", 1, now=10)
+        assert table.lookup("02:00:00:00:00:01", now=20) == 1
+        assert table.learned == 1  # same station, not a new entry
+
+    def test_capacity_eviction(self):
+        table = MacTable(capacity=2, aging_ps=None)
+        table.learn("02:00:00:00:00:01", 0, now=0)
+        table.learn("02:00:00:00:00:02", 1, now=1)
+        table.learn("02:00:00:00:00:03", 2, now=2)
+        assert table.evicted == 1
+        assert table.lookup("02:00:00:00:00:01", now=3) is None  # oldest went
+        assert table.lookup("02:00:00:00:00:03", now=3) == 2
+
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigError):
+            MacTable(capacity=0)
+
+
+class TestLegacySwitch:
+    def test_unknown_destination_floods(self):
+        sim = Simulator()
+        switch, hosts = rig(sim)
+        seen = {i: [] for i in range(4)}
+        for i, host in enumerate(hosts):
+            host.add_rx_sink(lambda p, i=i: seen[i].append(p))
+        hosts[0].send(build_udp(src_mac=mac(1), dst_mac=mac(2)))
+        sim.run()
+        assert len(seen[0]) == 0  # never back out the ingress port
+        assert len(seen[1]) == len(seen[2]) == len(seen[3]) == 1
+        assert switch.flooded == 1
+
+    def test_learning_stops_flooding(self):
+        sim = Simulator()
+        switch, hosts = rig(sim)
+        seen = {i: [] for i in range(4)}
+        for i, host in enumerate(hosts):
+            host.add_rx_sink(lambda p, i=i: seen[i].append(p))
+        # Host 1 talks first, teaching the switch its port.
+        hosts[1].send(build_udp(src_mac=mac(2), dst_mac=mac(1)))
+        sim.run()
+        hosts[0].send(build_udp(src_mac=mac(1), dst_mac=mac(2)))
+        sim.run()
+        assert len(seen[1]) == 1  # unicast, not flooded
+        assert len(seen[3]) == 1  # only the first flood
+        assert switch.forwarded == 1
+
+    def test_broadcast_always_floods(self):
+        sim = Simulator()
+        switch, hosts = rig(sim)
+        seen = []
+        hosts[2].add_rx_sink(seen.append)
+        hosts[0].send(build_arp_request())
+        sim.run()
+        assert len(seen) == 1
+
+    def test_store_and_forward_latency(self):
+        sim = Simulator()
+        switch, hosts = rig(sim, switching_latency_ps=ns(800))
+        arrivals = []
+        hosts[1].add_rx_sink(lambda p: arrivals.append(sim.now))
+        departures = []
+        hosts[0].tx.on_start_of_frame = lambda p: departures.append(sim.now)
+        # Teach the switch first.
+        hosts[1].send(build_udp(src_mac=mac(2), dst_mac=mac(1)))
+        sim.run()
+        hosts[0].send(build_udp(frame_size=64, src_mac=mac(1), dst_mac=mac(2)))
+        sim.run()
+        latency = arrivals[-1] - departures[-1]
+        # 2 serializations (in + out) at 57.6 ns + 800 ns switching.
+        assert latency == 2 * ns(57.6) + ns(800)
+
+    def test_same_port_destination_dropped(self):
+        sim = Simulator()
+        switch, hosts = rig(sim)
+        hosts[0].send(build_udp(src_mac=mac(1), dst_mac=mac(9)))
+        sim.run()
+        hosts[0].send(build_udp(src_mac=mac(9), dst_mac=mac(1)))  # same port!
+        sim.run()
+        assert switch.dropped_same_port == 1
+
+    def test_egress_overload_drops(self):
+        sim = Simulator()
+        switch, hosts = rig(sim, buffer_bytes_per_port=8 * 1024)
+        # Hosts 0 and 2 both blast at host 1's single 10G egress.
+        hosts[1].send(build_udp(src_mac=mac(2), dst_mac=mac(1)))
+        sim.run()
+        for __ in range(200):
+            hosts[0].send(build_udp(frame_size=1518, src_mac=mac(1), dst_mac=mac(2)))
+            hosts[2].send(build_udp(frame_size=1518, src_mac=mac(3), dst_mac=mac(2)))
+        sim.run()
+        assert switch.egress_drops > 0
+
+    def test_jitter_is_reproducible(self):
+        def run_once():
+            sim = Simulator()
+            switch, hosts = rig(
+                sim,
+                latency_jitter_ps=ns(100),
+                rng=RandomStreams(11).stream("sw"),
+            )
+            arrivals = []
+            hosts[1].add_rx_sink(lambda p: arrivals.append(sim.now))
+            hosts[1].send(build_udp(src_mac=mac(2), dst_mac=mac(1)))
+            sim.run()
+            for __ in range(20):
+                hosts[0].send(build_udp(src_mac=mac(1), dst_mac=mac(2)))
+            sim.run()
+            return arrivals
+
+        assert run_once() == run_once()
+
+    def test_min_ports_validation(self):
+        with pytest.raises(ConfigError):
+            LegacySwitch(Simulator(), num_ports=1)
+
+
+class TestSnmpAgent:
+    def test_sync_read_counters(self):
+        sim = Simulator()
+        switch, hosts = rig(sim)
+        agent = SnmpAgent(sim, switch.ports)
+        hosts[0].send(build_udp(src_mac=mac(1), dst_mac=mac(2)))
+        sim.run()
+        assert agent.read(f"{OID_IF_IN_UCAST}.1") == 1
+        assert agent.read(f"{OID_IF_OUT_UCAST}.2") == 1  # flooded copy
+        assert agent.read(OID_SYS_DESCR) == "repro switch"
+
+    def test_unknown_oid(self):
+        agent = SnmpAgent(Simulator(), [])
+        with pytest.raises(SnmpError):
+            agent.read("1.3.6.1.9.9.9.0")
+
+    def test_bad_interface_index(self):
+        sim = Simulator()
+        switch, __ = rig(sim)
+        agent = SnmpAgent(sim, switch.ports)
+        with pytest.raises(SnmpError):
+            agent.read(f"{OID_IF_IN_UCAST}.99")
+        with pytest.raises(SnmpError):
+            agent.read(f"{OID_IF_IN_UCAST}.x")
+
+    def test_async_get_timing_and_value(self):
+        sim = Simulator()
+        switch, hosts = rig(sim)
+        agent = SnmpAgent(sim, switch.ports, request_latency_ps=us(200), processing_ps=ms(1))
+        results = []
+        agent.get(f"{OID_IF_IN_UCAST}.1", lambda oid, v: results.append((sim.now, v)))
+        sim.run()
+        when, value = results[0]
+        assert value == 0
+        assert when == us(200) + ms(1) + us(200)
+
+    def test_async_sampling_time_matters(self):
+        # The counter is sampled at processing time: traffic arriving
+        # after that is not reflected even though it precedes the reply.
+        sim = Simulator()
+        switch, hosts = rig(sim)
+        agent = SnmpAgent(
+            sim, switch.ports, request_latency_ps=ms(5), processing_ps=ms(1)
+        )
+        results = []
+        agent.get(f"{OID_IF_IN_UCAST}.1", lambda oid, v: results.append(v))
+        # Frame arrives at ~7 ms: after the 6 ms sampling instant.
+        sim.call_after(ms(7), lambda: hosts[0].send(build_udp()))
+        sim.run()
+        assert results == [0]
+
+    def test_get_many(self):
+        sim = Simulator()
+        switch, hosts = rig(sim)
+        agent = SnmpAgent(sim, switch.ports)
+        results = []
+        agent.get_many(
+            [f"{OID_IF_IN_UCAST}.1", f"{OID_IF_OUT_UCAST}.1", "bad.oid"],
+            results.append,
+        )
+        sim.run()
+        assert len(results) == 1
+        assert results[0][f"{OID_IF_IN_UCAST}.1"] == 0
+        assert results[0]["bad.oid"] is None
+
+
+class TestSimpleHost:
+    def test_arp_reply(self):
+        sim = Simulator()
+        host = SimpleHost(sim, "h1", mac="02:00:00:00:00:02", ip="10.0.0.2")
+        probe = EthernetPort(sim, "probe")
+        connect(probe, host.port)
+        replies = []
+        probe.add_rx_sink(lambda p: replies.append(decode(p.data)))
+        probe.send(build_arp_request(sender_ip="10.0.0.1", target_ip="10.0.0.2"))
+        sim.run()
+        assert host.arp_replies == 1
+        assert replies[0].arp.sender_mac == "02:00:00:00:00:02"
+        assert replies[0].arp.target_ip == "10.0.0.1"
+
+    def test_arp_for_other_ip_ignored(self):
+        sim = Simulator()
+        host = SimpleHost(sim, "h1", mac="02:00:00:00:00:02", ip="10.0.0.2")
+        probe = EthernetPort(sim, "probe")
+        connect(probe, host.port)
+        probe.send(build_arp_request(target_ip="10.0.0.99"))
+        sim.run()
+        assert host.arp_replies == 0
+
+    def test_icmp_echo_reply(self):
+        sim = Simulator()
+        host = SimpleHost(sim, "h1", mac="02:00:00:00:00:02", ip="10.0.0.2")
+        probe = EthernetPort(sim, "probe")
+        connect(probe, host.port)
+        replies = []
+        probe.add_rx_sink(lambda p: replies.append(decode(p.data)))
+        probe.send(build_icmp_echo(frame_size=96, dst_ip="10.0.0.2", sequence=5))
+        sim.run()
+        assert host.echo_replies == 1
+        assert replies[0].icmp.type == 0  # echo reply
+        assert replies[0].icmp.sequence == 5
+
+    def test_other_traffic_buffered(self):
+        sim = Simulator()
+        host = SimpleHost(sim, "h1", mac="02:00:00:00:00:02", ip="10.0.0.2")
+        probe = EthernetPort(sim, "probe")
+        connect(probe, host.port)
+        probe.send(build_udp(dst_ip="10.0.0.2"))
+        sim.run()
+        assert len(host.received) == 1

@@ -1,0 +1,159 @@
+"""Tests for the oscillator, GPS discipline and timestamp unit."""
+
+import pytest
+
+from repro.hw import GpsDiscipline, Oscillator, TICK_PS, TimestampUnit, ps_to_raw, raw_to_ps
+from repro.sim import RandomStreams, Simulator
+from repro.units import PS_PER_SEC, seconds, us
+
+
+class TestOscillator:
+    def test_perfect_oscillator_tracks_true_time(self):
+        sim = Simulator()
+        osc = Oscillator(sim)
+        sim.run(until=seconds(3))
+        assert osc.device_time() == seconds(3)
+        assert osc.error_ps() == 0
+
+    def test_ppm_drift_accumulates(self):
+        sim = Simulator()
+        osc = Oscillator(sim, freq_error_ppm=30.0)
+        sim.run(until=seconds(1))
+        # 30 ppm over one second = 30 µs of error.
+        assert osc.error_ps() == pytest.approx(us(30), rel=1e-6)
+
+    def test_negative_drift(self):
+        sim = Simulator()
+        osc = Oscillator(sim, freq_error_ppm=-10.0)
+        sim.run(until=seconds(2))
+        assert osc.error_ps() == pytest.approx(-us(20), rel=1e-6)
+
+    def test_step_phase(self):
+        sim = Simulator()
+        osc = Oscillator(sim)
+        sim.run(until=1000)
+        osc.step_phase(-400)
+        assert osc.error_ps() == -400
+
+    def test_adjust_rate_from_now(self):
+        sim = Simulator()
+        osc = Oscillator(sim, freq_error_ppm=10.0)
+        sim.run(until=seconds(1))
+        error_at_1s = osc.error_ps()
+        osc.adjust_rate(-10e-6)  # cancel the drift
+        sim.run(until=seconds(2))
+        assert osc.error_ps() == pytest.approx(error_at_1s, abs=2)
+
+    def test_monotonic_reading(self):
+        sim = Simulator()
+        osc = Oscillator(sim, freq_error_ppm=50)
+        readings = []
+        for t in range(0, 10_000, 1000):
+            readings.append(osc.device_time(t))
+        assert readings == sorted(readings)
+
+
+class TestGpsDiscipline:
+    def test_free_running_drift_grows_unbounded(self):
+        sim = Simulator()
+        osc = Oscillator(sim, freq_error_ppm=30.0)
+        GpsDiscipline(sim, osc, enabled=False)
+        sim.run(until=seconds(10))
+        assert abs(osc.error_ps()) > us(250)  # ~300 µs after 10 s
+
+    def test_discipline_converges_to_sub_microsecond(self):
+        sim = Simulator()
+        osc = Oscillator(sim, freq_error_ppm=30.0)
+        gps = GpsDiscipline(sim, osc)
+        sim.run(until=seconds(10))
+        assert gps.pulses_seen == 10
+        # The paper's claim: sub-µs precision with GPS correction.
+        assert abs(osc.error_ps()) < us(1)
+
+    def test_discipline_handles_negative_drift(self):
+        sim = Simulator()
+        osc = Oscillator(sim, freq_error_ppm=-50.0)
+        GpsDiscipline(sim, osc)
+        sim.run(until=seconds(10))
+        assert abs(osc.error_ps()) < us(1)
+
+    def test_cold_start_phase_step(self):
+        sim = Simulator()
+        osc = Oscillator(sim)
+        osc.step_phase(seconds(1))  # clock set a second off
+        gps = GpsDiscipline(sim, osc)
+        sim.run(until=seconds(2))
+        # A gross offset is stepped out at the first pulse.
+        assert abs(osc.error_ps()) < us(1)
+        assert gps.pulses_seen == 2
+
+    def test_discipline_with_oscillator_wander(self):
+        sim = Simulator()
+        rng = RandomStreams(42).stream("osc")
+        osc = Oscillator(sim, freq_error_ppm=20.0, walk_ppb_per_interval=50.0, rng=rng)
+        GpsDiscipline(sim, osc)
+        sim.run(until=seconds(30))
+        assert abs(osc.error_ps()) < us(1)
+
+    def test_disabled_discipline_still_wanders(self):
+        sim = Simulator()
+        rng = RandomStreams(42).stream("osc")
+        osc = Oscillator(sim, freq_error_ppm=0.0, walk_ppb_per_interval=200.0, rng=rng)
+        GpsDiscipline(sim, osc, enabled=False)
+        sim.run(until=seconds(60))
+        assert osc.frequency_error_ppm != 0.0
+
+
+class TestTimestampUnit:
+    def test_resolution_is_6_25_ns(self):
+        assert TimestampUnit.resolution_ps() == 6250
+        assert TICK_PS == 6250
+
+    def test_quantises_to_tick(self):
+        sim = Simulator()
+        unit = TimestampUnit(sim)
+        sim.run(until=10_000)  # 10 ns: mid-tick
+        assert unit.now_ps() == 6250
+
+    def test_stamp_on_tick_boundary_is_exact(self):
+        sim = Simulator()
+        unit = TimestampUnit(sim)
+        sim.run(until=TICK_PS * 4)
+        assert unit.now_ps() == TICK_PS * 4
+
+    def test_events_within_one_tick_share_a_stamp(self):
+        sim = Simulator()
+        unit = TimestampUnit(sim)
+        stamps = []
+        sim.call_at(100, lambda: stamps.append(unit.now_ps()))
+        sim.call_at(6200, lambda: stamps.append(unit.now_ps()))
+        sim.call_at(6300, lambda: stamps.append(unit.now_ps()))
+        sim.run()
+        assert stamps[0] == stamps[1] == 0
+        assert stamps[2] == 6250
+
+    def test_raw_fixed_point_roundtrip(self):
+        # One LSB of the 32.32 counter is 2^-32 s ≈ 233 ps, so the ps
+        # view recovered from the raw counter floors by at most that.
+        lsb_ps = 10**12 / 2**32
+        for device_ps in (0, 6250, PS_PER_SEC, 3 * PS_PER_SEC + 43750):
+            raw = ps_to_raw(device_ps)
+            recovered = raw_to_ps(raw)
+            assert 0 <= device_ps - recovered <= lsb_ps
+
+    def test_one_second_is_2_to_32(self):
+        assert ps_to_raw(PS_PER_SEC) == 1 << 32
+
+    def test_raw_counter_uses_64_bits(self):
+        sim = Simulator()
+        unit = TimestampUnit(sim)
+        sim.run(until=seconds(2))
+        assert unit.now_raw() == 2 << 32
+
+    def test_follows_oscillator(self):
+        sim = Simulator()
+        osc = Oscillator(sim, freq_error_ppm=100.0)
+        unit = TimestampUnit(sim, oscillator=osc)
+        sim.run(until=seconds(1))
+        # Device believes 100 µs more time has passed.
+        assert unit.now_ps() - seconds(1) == pytest.approx(us(100), abs=TICK_PS)

@@ -1,0 +1,128 @@
+"""Tests for register files and the AXI-Lite bus model."""
+
+import pytest
+
+from repro.errors import RegisterError
+from repro.hw import AxiLiteBus, RegisterFile
+
+
+def make_regfile():
+    regfile = RegisterFile("gen")
+    regfile.add("ctrl", 0x0)
+    regfile.add("status", 0x4, reset=0x1, writable=False)
+    regfile.add("key", 0x8, readable=False)
+    return regfile
+
+
+class TestRegisterFile:
+    def test_reset_values(self):
+        regfile = make_regfile()
+        assert regfile.read(0x0) == 0
+        assert regfile.read(0x4) == 1
+
+    def test_write_and_read(self):
+        regfile = make_regfile()
+        regfile.write(0x0, 0xDEADBEEF)
+        assert regfile.read(0x0) == 0xDEADBEEF
+
+    def test_by_name_access(self):
+        regfile = make_regfile()
+        regfile.write_by_name("ctrl", 7)
+        assert regfile.read_by_name("ctrl") == 7
+        assert regfile.read(0x0) == 7
+
+    def test_read_only_register(self):
+        with pytest.raises(RegisterError):
+            make_regfile().write(0x4, 1)
+
+    def test_write_only_register(self):
+        with pytest.raises(RegisterError):
+            make_regfile().read(0x8)
+
+    def test_unknown_offset(self):
+        with pytest.raises(RegisterError):
+            make_regfile().read(0x100)
+
+    def test_unknown_name(self):
+        with pytest.raises(RegisterError):
+            make_regfile().register("nope")
+
+    def test_unaligned_offset_rejected(self):
+        with pytest.raises(RegisterError):
+            RegisterFile("x").add("bad", 0x3)
+
+    def test_duplicate_offset_rejected(self):
+        regfile = RegisterFile("x")
+        regfile.add("a", 0x0)
+        with pytest.raises(RegisterError):
+            regfile.add("b", 0x0)
+
+    def test_duplicate_name_rejected(self):
+        regfile = RegisterFile("x")
+        regfile.add("a", 0x0)
+        with pytest.raises(RegisterError):
+            regfile.add("a", 0x4)
+
+    def test_value_must_fit_32_bits(self):
+        regfile = make_regfile()
+        with pytest.raises(RegisterError):
+            regfile.write(0x0, 1 << 32)
+
+    def test_write_hook_fires(self):
+        regfile = RegisterFile("x")
+        seen = []
+        regfile.add("trigger", 0x0, on_write=seen.append)
+        regfile.write(0x0, 5)
+        assert seen == [5]
+
+    def test_read_hook_supplies_value(self):
+        regfile = RegisterFile("x")
+        regfile.add("counter", 0x0, on_read=lambda: 1234, writable=False)
+        assert regfile.read(0x0) == 1234
+
+    def test_reset_all(self):
+        regfile = make_regfile()
+        regfile.write(0x0, 99)
+        regfile.reset_all()
+        assert regfile.read(0x0) == 0
+
+    def test_dump(self):
+        regfile = make_regfile()
+        regfile.write(0x0, 3)
+        assert regfile.dump() == {"ctrl": 3, "status": 1, "key": 0}
+
+
+class TestAxiLiteBus:
+    def test_routing(self):
+        bus = AxiLiteBus()
+        gen, mon = RegisterFile("gen"), RegisterFile("mon")
+        gen.add("ctrl", 0x0)
+        mon.add("ctrl", 0x0)
+        bus.attach(0x1000, 0x100, gen)
+        bus.attach(0x2000, 0x100, mon)
+        bus.write32(0x1000, 11)
+        bus.write32(0x2000, 22)
+        assert gen.read_by_name("ctrl") == 11
+        assert mon.read_by_name("ctrl") == 22
+        assert bus.read32(0x1000) == 11
+
+    def test_unmapped_address_is_bus_error(self):
+        bus = AxiLiteBus()
+        with pytest.raises(RegisterError):
+            bus.read32(0x5000)
+
+    def test_overlapping_windows_rejected(self):
+        bus = AxiLiteBus()
+        bus.attach(0x1000, 0x100, RegisterFile("a"))
+        with pytest.raises(RegisterError):
+            bus.attach(0x10FC, 0x100, RegisterFile("b"))
+
+    def test_adjacent_windows_allowed(self):
+        bus = AxiLiteBus()
+        a, b = RegisterFile("a"), RegisterFile("b")
+        a.add("r", 0x0)
+        b.add("r", 0x0)
+        bus.attach(0x1000, 0x100, a)
+        bus.attach(0x1100, 0x100, b)
+        bus.write32(0x1100, 9)
+        assert b.read_by_name("r") == 9

@@ -1,0 +1,173 @@
+"""Tests for low-level field helpers and checksums."""
+
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import PacketError, TruncatedPacketError
+from repro.net import fields
+from repro.net.checksum import (
+    crc32_hash,
+    ethernet_fcs,
+    fletcher32,
+    internet_checksum,
+    pseudo_header_checksum,
+    verify_ethernet_fcs,
+)
+
+
+class TestIntegers:
+    def test_pack_sizes(self):
+        assert fields.u8(0xAB) == b"\xab"
+        assert fields.u16(0x1234) == b"\x12\x34"
+        assert fields.u32(0xDEADBEEF) == b"\xde\xad\xbe\xef"
+        assert fields.u64(1) == b"\x00" * 7 + b"\x01"
+
+    def test_pack_overflow_raises(self):
+        with pytest.raises(PacketError):
+            fields.u8(256)
+        with pytest.raises(PacketError):
+            fields.u16(-1)
+
+    def test_read_roundtrip(self):
+        data = b"\x00" + fields.u32(0xCAFEBABE)
+        assert fields.read_u32(data, 1) == 0xCAFEBABE
+
+    def test_read_past_end_raises(self):
+        with pytest.raises(TruncatedPacketError):
+            fields.read_u16(b"\x01", 0)
+        with pytest.raises(TruncatedPacketError):
+            fields.read_u8(b"\x01", -1)
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_u64_roundtrip(self, value):
+        assert fields.read_u64(fields.u64(value), 0) == value
+
+
+class TestMacAddresses:
+    def test_roundtrip(self):
+        mac = "00:11:22:aa:bb:cc"
+        assert fields.mac_to_str(fields.mac_to_bytes(mac)) == mac
+
+    def test_rejects_bad_strings(self):
+        for bad in ("001122aabbcc", "00:11:22:aa:bb", "zz:11:22:aa:bb:cc", ""):
+            with pytest.raises(PacketError):
+                fields.mac_to_bytes(bad)
+
+    def test_rejects_wrong_length_bytes(self):
+        with pytest.raises(PacketError):
+            fields.mac_to_str(b"\x00" * 5)
+
+    def test_broadcast_and_multicast(self):
+        assert fields.is_broadcast_mac("FF:FF:FF:FF:FF:FF")
+        assert fields.is_multicast_mac("01:00:5e:00:00:01")
+        assert not fields.is_multicast_mac("02:00:00:00:00:01")
+
+    @given(st.binary(min_size=6, max_size=6))
+    def test_bytes_roundtrip(self, raw):
+        assert fields.mac_to_bytes(fields.mac_to_str(raw)) == raw
+
+
+class TestIpv4Addresses:
+    def test_roundtrip(self):
+        assert fields.ipv4_to_str(fields.ipv4_to_int("192.168.1.254")) == "192.168.1.254"
+
+    def test_known_value(self):
+        assert fields.ipv4_to_int("10.0.0.1") == 0x0A000001
+
+    def test_rejects_bad(self):
+        for bad in ("256.0.0.1", "1.2.3", "a.b.c.d", "1.2.3.4.5", ""):
+            with pytest.raises(PacketError):
+                fields.ipv4_to_int(bad)
+
+    def test_rejects_bad_int(self):
+        with pytest.raises(PacketError):
+            fields.ipv4_to_str(1 << 32)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_int_roundtrip(self, value):
+        assert fields.ipv4_to_int(fields.ipv4_to_str(value)) == value
+
+
+class TestIpv6Addresses:
+    def test_full_form_roundtrip(self):
+        address = "2001:db8:0:1:0:2:3:4"
+        packed = fields.ipv6_to_bytes(address)
+        assert len(packed) == 16
+        assert fields.ipv6_to_str(packed) == address
+
+    def test_compressed_form(self):
+        assert fields.ipv6_to_bytes("::1") == b"\x00" * 15 + b"\x01"
+        assert fields.ipv6_to_bytes("fe80::") == b"\xfe\x80" + b"\x00" * 14
+
+    def test_rejects_bad(self):
+        for bad in ("::1::2", "1:2:3", "2001:db8::g", "1:2:3:4:5:6:7:8:9"):
+            with pytest.raises(PacketError):
+                fields.ipv6_to_bytes(bad)
+
+    def test_str_rejects_wrong_length(self):
+        with pytest.raises(PacketError):
+            fields.ipv6_to_str(b"\x00" * 4)
+
+
+class TestInternetChecksum:
+    def test_rfc1071_example(self):
+        # Worked example from RFC 1071 §3.
+        data = bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7])
+        assert internet_checksum(data) == 0xFFFF - 0xDDF2
+
+    def test_checksum_of_zeroes(self):
+        assert internet_checksum(b"\x00" * 10) == 0xFFFF
+
+    def test_odd_length_padding(self):
+        assert internet_checksum(b"\x01") == internet_checksum(b"\x01\x00")
+
+    @given(st.binary(min_size=0, max_size=200))
+    def test_data_plus_checksum_verifies(self, data):
+        # Appending the checksum makes the whole sum verify to zero.
+        checksum = internet_checksum(data)
+        padded = data + b"\x00" if len(data) % 2 else data
+        assert internet_checksum(padded + checksum.to_bytes(2, "big")) == 0
+
+    def test_pseudo_header_differs_by_protocol(self):
+        src, dst = b"\x0a\x00\x00\x01", b"\x0a\x00\x00\x02"
+        assert pseudo_header_checksum(src, dst, 6, b"hi") != pseudo_header_checksum(
+            src, dst, 17, b"hi"
+        )
+
+
+class TestEthernetFcs:
+    def test_known_crc(self):
+        # zlib.crc32(b"123456789") == 0xCBF43926, the CRC-32 check value.
+        assert ethernet_fcs(b"123456789") == struct.pack("<I", 0xCBF43926)
+
+    def test_verify_accepts_good_frame(self):
+        frame = b"\x01" * 60
+        assert verify_ethernet_fcs(frame + ethernet_fcs(frame))
+
+    def test_verify_rejects_corruption(self):
+        frame = b"\x01" * 60
+        tagged = bytearray(frame + ethernet_fcs(frame))
+        tagged[5] ^= 0xFF
+        assert not verify_ethernet_fcs(bytes(tagged))
+
+    def test_verify_rejects_short_input(self):
+        assert not verify_ethernet_fcs(b"\x00\x00\x00\x00")
+
+    @given(st.binary(min_size=1, max_size=100))
+    def test_fcs_roundtrip(self, frame):
+        assert verify_ethernet_fcs(frame + ethernet_fcs(frame))
+
+
+class TestHashes:
+    def test_fletcher32_known_vector(self):
+        # Fletcher-32 of "abcde" (padded) per the classic test vectors.
+        assert fletcher32(b"abcde") == 0xF04FC729
+
+    def test_crc32_hash_width(self):
+        assert len(crc32_hash(b"payload")) == 4
+
+    @given(st.binary(min_size=0, max_size=64))
+    def test_fletcher_deterministic(self, data):
+        assert fletcher32(data) == fletcher32(data)

@@ -1,0 +1,254 @@
+"""Tests for protocol header pack/unpack roundtrips and checksums."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import PacketError, TruncatedPacketError
+from repro.net.arp import ArpPacket
+from repro.net.ethernet import ETHERTYPE_IPV4, ETHERTYPE_VLAN, EthernetHeader, VlanTag
+from repro.net.fields import ipv4_to_bytes
+from repro.net.icmp import IcmpHeader, TYPE_ECHO_REQUEST
+from repro.net.ipv4 import Ipv4Header, PROTO_UDP
+from repro.net.ipv6 import Ipv6Header
+from repro.net.checksum import internet_checksum, pseudo_header_checksum
+from repro.net.tcp import FLAG_ACK, FLAG_SYN, TcpHeader
+from repro.net.udp import UdpHeader
+
+macs = st.from_regex(r"([0-9a-f]{2}:){5}[0-9a-f]{2}", fullmatch=True)
+ipv4s = st.integers(min_value=0, max_value=2**32 - 1).map(
+    lambda v: ".".join(str((v >> s) & 0xFF) for s in (24, 16, 8, 0))
+)
+ports = st.integers(min_value=0, max_value=65535)
+
+
+class TestEthernet:
+    def test_roundtrip(self):
+        header = EthernetHeader("02:00:00:00:00:02", "02:00:00:00:00:01", ETHERTYPE_IPV4)
+        packed = header.pack()
+        assert len(packed) == 14
+        parsed, offset = EthernetHeader.unpack(packed + b"payload")
+        assert parsed == header
+        assert offset == 14
+
+    def test_truncated(self):
+        with pytest.raises(TruncatedPacketError):
+            EthernetHeader.unpack(b"\x00" * 13)
+
+    @given(macs, macs, st.integers(min_value=0, max_value=0xFFFF))
+    def test_roundtrip_property(self, dst, src, ethertype):
+        header = EthernetHeader(dst, src, ethertype)
+        parsed, __ = EthernetHeader.unpack(header.pack())
+        assert parsed == header
+
+
+class TestVlan:
+    def test_roundtrip(self):
+        tag = VlanTag(pcp=5, dei=1, vid=4094, inner_ethertype=ETHERTYPE_IPV4)
+        parsed, offset = VlanTag.unpack(tag.pack(), 0)
+        assert parsed == tag
+        assert offset == 4
+
+    @given(
+        st.integers(min_value=0, max_value=7),
+        st.integers(min_value=0, max_value=1),
+        st.integers(min_value=0, max_value=4095),
+    )
+    def test_roundtrip_property(self, pcp, dei, vid):
+        tag = VlanTag(pcp=pcp, dei=dei, vid=vid)
+        parsed, __ = VlanTag.unpack(tag.pack(), 0)
+        assert (parsed.pcp, parsed.dei, parsed.vid) == (pcp, dei, vid)
+
+
+class TestIpv4:
+    def test_pack_has_valid_checksum(self):
+        header = Ipv4Header(src="10.0.0.1", dst="10.0.0.2", protocol=PROTO_UDP)
+        packed = header.pack(payload_length=100)
+        assert internet_checksum(packed) == 0
+
+    def test_roundtrip(self):
+        header = Ipv4Header(
+            src="192.168.0.1",
+            dst="172.16.5.4",
+            protocol=PROTO_UDP,
+            ttl=17,
+            identification=0xBEEF,
+            dscp=46,
+            ecn=1,
+        )
+        packed = header.pack(payload_length=8)
+        parsed, offset = Ipv4Header.unpack(packed, 0)
+        assert offset == 20
+        assert parsed.src == header.src
+        assert parsed.dst == header.dst
+        assert parsed.ttl == 17
+        assert parsed.identification == 0xBEEF
+        assert parsed.dscp == 46
+        assert parsed.ecn == 1
+        assert parsed.total_length == 28
+        assert parsed.verify_checksum(packed, 0)
+
+    def test_options_roundtrip(self):
+        header = Ipv4Header(
+            src="1.2.3.4", dst="5.6.7.8", protocol=6, options=b"\x01\x01\x01\x01"
+        )
+        packed = header.pack(payload_length=0)
+        parsed, offset = Ipv4Header.unpack(packed, 0)
+        assert offset == 24
+        assert parsed.options == b"\x01\x01\x01\x01"
+
+    def test_unaligned_options_rejected(self):
+        header = Ipv4Header(src="1.2.3.4", dst="5.6.7.8", protocol=6, options=b"\x01")
+        with pytest.raises(PacketError):
+            header.pack(payload_length=0)
+
+    def test_corrupted_checksum_detected(self):
+        header = Ipv4Header(src="10.0.0.1", dst="10.0.0.2", protocol=17)
+        packed = bytearray(header.pack(payload_length=0))
+        packed[8] ^= 0x01  # flip a TTL bit
+        parsed, __ = Ipv4Header.unpack(bytes(packed), 0)
+        assert not parsed.verify_checksum(bytes(packed), 0)
+
+    def test_wrong_version_rejected(self):
+        packed = bytearray(Ipv4Header(src="1.1.1.1", dst="2.2.2.2", protocol=6).pack(0))
+        packed[0] = (6 << 4) | 5
+        with pytest.raises(PacketError):
+            Ipv4Header.unpack(bytes(packed), 0)
+
+    def test_oversized_total_length_rejected(self):
+        header = Ipv4Header(src="1.1.1.1", dst="2.2.2.2", protocol=6)
+        with pytest.raises(PacketError):
+            header.pack(payload_length=65536)
+
+    @given(ipv4s, ipv4s, st.integers(min_value=0, max_value=255))
+    def test_roundtrip_property(self, src, dst, protocol):
+        header = Ipv4Header(src=src, dst=dst, protocol=protocol)
+        parsed, __ = Ipv4Header.unpack(header.pack(0), 0)
+        assert (parsed.src, parsed.dst, parsed.protocol) == (src, dst, protocol)
+
+
+class TestIpv6:
+    def test_roundtrip(self):
+        header = Ipv6Header(
+            src="2001:db8:0:0:0:0:0:1",
+            dst="2001:db8:0:0:0:0:0:2",
+            next_header=17,
+            traffic_class=0xAB,
+            flow_label=0xFFFFF,
+            hop_limit=3,
+        )
+        packed = header.pack(payload_length=64)
+        parsed, offset = Ipv6Header.unpack(packed, 0)
+        assert offset == 40
+        assert parsed.src == header.src
+        assert parsed.dst == header.dst
+        assert parsed.next_header == 17
+        assert parsed.traffic_class == 0xAB
+        assert parsed.flow_label == 0xFFFFF
+        assert parsed.payload_length == 64
+
+    def test_wrong_version_rejected(self):
+        packed = bytearray(
+            Ipv6Header(src="::1", dst="::2", next_header=6).pack(0)
+        )
+        packed[0] = 4 << 4
+        with pytest.raises(PacketError):
+            Ipv6Header.unpack(bytes(packed), 0)
+
+
+class TestUdp:
+    def test_roundtrip_with_checksum(self):
+        src, dst = ipv4_to_bytes("10.0.0.1"), ipv4_to_bytes("10.0.0.2")
+        header = UdpHeader(src_port=1234, dst_port=80)
+        packed = header.pack(b"hello", src, dst)
+        parsed, offset = UdpHeader.unpack(packed, 0)
+        assert offset == 8
+        assert parsed.src_port == 1234
+        assert parsed.dst_port == 80
+        assert parsed.length == 13
+        assert parsed.checksum != 0
+        # Verifying: pseudo-header sum over the full segment is zero.
+        assert pseudo_header_checksum(src, dst, 17, packed) == 0
+
+    def test_no_checksum_without_addresses(self):
+        packed = UdpHeader(src_port=1, dst_port=2).pack(b"x")
+        parsed, __ = UdpHeader.unpack(packed, 0)
+        assert parsed.checksum == 0
+
+    @given(ports, ports, st.binary(max_size=64))
+    def test_roundtrip_property(self, sport, dport, payload):
+        packed = UdpHeader(src_port=sport, dst_port=dport).pack(payload)
+        parsed, offset = UdpHeader.unpack(packed, 0)
+        assert (parsed.src_port, parsed.dst_port) == (sport, dport)
+        assert packed[offset:] == payload
+
+
+class TestTcp:
+    def test_roundtrip_with_checksum(self):
+        src, dst = ipv4_to_bytes("10.0.0.1"), ipv4_to_bytes("10.0.0.2")
+        header = TcpHeader(
+            src_port=443,
+            dst_port=55555,
+            seq=0x12345678,
+            ack=0x9ABCDEF0,
+            flags=FLAG_SYN | FLAG_ACK,
+            window=8192,
+        )
+        packed = header.pack(b"data", src, dst)
+        parsed, offset = TcpHeader.unpack(packed, 0)
+        assert offset == 20
+        assert parsed.seq == 0x12345678
+        assert parsed.ack == 0x9ABCDEF0
+        assert parsed.flags == FLAG_SYN | FLAG_ACK
+        assert parsed.window == 8192
+        assert pseudo_header_checksum(src, dst, 6, packed) == 0
+
+    def test_options_roundtrip(self):
+        header = TcpHeader(src_port=1, dst_port=2, options=b"\x02\x04\x05\xb4")
+        packed = header.pack(b"")
+        parsed, offset = TcpHeader.unpack(packed, 0)
+        assert offset == 24
+        assert parsed.options == b"\x02\x04\x05\xb4"
+
+    def test_unaligned_options_rejected(self):
+        with pytest.raises(PacketError):
+            TcpHeader(src_port=1, dst_port=2, options=b"\x01").pack(b"")
+
+    def test_truncated(self):
+        with pytest.raises(TruncatedPacketError):
+            TcpHeader.unpack(b"\x00" * 10, 0)
+
+
+class TestIcmp:
+    def test_echo_roundtrip(self):
+        header = IcmpHeader(type=TYPE_ECHO_REQUEST, identifier=7, sequence=9)
+        packed = header.pack(b"ping-payload")
+        parsed, offset = IcmpHeader.unpack(packed, 0)
+        assert offset == 8
+        assert parsed.type == TYPE_ECHO_REQUEST
+        assert parsed.identifier == 7
+        assert parsed.sequence == 9
+        assert internet_checksum(packed) == 0
+
+
+class TestArp:
+    def test_request_roundtrip(self):
+        packet = ArpPacket(
+            operation=1,
+            sender_mac="02:00:00:00:00:01",
+            sender_ip="10.0.0.1",
+            target_mac="00:00:00:00:00:00",
+            target_ip="10.0.0.2",
+        )
+        packed = packet.pack()
+        assert len(packed) == 28
+        parsed, offset = ArpPacket.unpack(packed, 0)
+        assert parsed == packet
+        assert offset == 28
+
+    def test_non_ethernet_rejected(self):
+        packed = bytearray(
+            ArpPacket(1, "02:00:00:00:00:01", "1.1.1.1", "00:00:00:00:00:00", "2.2.2.2").pack()
+        )
+        packed[1] = 6  # hardware type: IEEE 802
+        with pytest.raises(PacketError):
+            ArpPacket.unpack(bytes(packed), 0)

@@ -1,0 +1,114 @@
+"""Tests for PCAP file I/O."""
+
+import io
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import PcapError
+from repro.net import PcapReader, PcapRecord, PcapWriter, build_udp, read_pcap, write_pcap
+from repro.units import PS_PER_NS, PS_PER_SEC, PS_PER_US
+
+
+def make_records(count=3, size=100, spacing_ns=500):
+    packets = [build_udp(frame_size=size, src_port=5000 + i) for i in range(count)]
+    return [
+        PcapRecord(timestamp_ps=i * spacing_ns * PS_PER_NS, data=p.data)
+        for i, p in enumerate(packets)
+    ]
+
+
+class TestRoundtrip:
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "out.pcap"
+        records = make_records()
+        assert write_pcap(path, records) == 3
+        loaded = read_pcap(path)
+        assert [r.data for r in loaded] == [r.data for r in records]
+        assert [r.timestamp_ps for r in loaded] == [r.timestamp_ps for r in records]
+
+    def test_nanosecond_resolution_preserved(self, tmp_path):
+        path = tmp_path / "ns.pcap"
+        record = PcapRecord(timestamp_ps=1 * PS_PER_SEC + 123 * PS_PER_NS, data=b"\x00" * 60)
+        write_pcap(path, [record], nanosecond=True)
+        loaded = read_pcap(path)[0]
+        assert loaded.timestamp_ps == record.timestamp_ps
+
+    def test_microsecond_file_truncates_to_us(self, tmp_path):
+        path = tmp_path / "us.pcap"
+        record = PcapRecord(timestamp_ps=5 * PS_PER_US + 999 * PS_PER_NS, data=b"\x00" * 60)
+        write_pcap(path, [record], nanosecond=False)
+        loaded = read_pcap(path)[0]
+        assert loaded.timestamp_ps == 5 * PS_PER_US
+
+    def test_sub_resolution_picoseconds_truncated(self, tmp_path):
+        path = tmp_path / "trunc.pcap"
+        write_pcap(path, [PcapRecord(timestamp_ps=1234, data=b"\x00" * 60)])
+        assert read_pcap(path)[0].timestamp_ps == 1000  # 1 ns
+
+    def test_stream_roundtrip(self):
+        buffer = io.BytesIO()
+        with PcapWriter(buffer) as writer:
+            for record in make_records(2):
+                writer.write(record)
+        buffer.seek(0)
+        with PcapReader(buffer) as reader:
+            assert len(list(reader)) == 2
+
+    @given(st.lists(st.binary(min_size=14, max_size=200), min_size=0, max_size=20))
+    def test_arbitrary_frames_roundtrip(self, frames):
+        buffer = io.BytesIO()
+        with PcapWriter(buffer) as writer:
+            for i, frame in enumerate(frames):
+                writer.write(PcapRecord(timestamp_ps=i * 1000, data=frame))
+        buffer.seek(0)
+        loaded = list(PcapReader(buffer))
+        assert [r.data for r in loaded] == frames
+
+
+class TestSnaplen:
+    def test_write_packet_honours_capture_length(self):
+        packet = build_udp(frame_size=512)
+        packet.capture_length = 60
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        writer.write_packet(packet, timestamp_ps=0)
+        buffer.seek(0)
+        record = next(PcapReader(buffer))
+        assert len(record.data) == 60
+        assert record.original_length == len(packet.data)
+
+    def test_original_length_defaults_to_data(self):
+        record = PcapRecord(timestamp_ps=0, data=b"\x00" * 80)
+        assert record.original_length == 80
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(PcapError):
+            PcapReader(io.BytesIO(b"\x00" * 24))
+
+    def test_short_global_header(self):
+        with pytest.raises(PcapError):
+            PcapReader(io.BytesIO(b"\xd4\xc3\xb2\xa1"))
+
+    def test_truncated_record_body(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        writer.write(PcapRecord(timestamp_ps=0, data=b"\x00" * 100))
+        raw = buffer.getvalue()[:-10]
+        with pytest.raises(PcapError):
+            list(PcapReader(io.BytesIO(raw)))
+
+    def test_unsupported_linktype(self):
+        header = struct.pack("<IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 101)
+        with pytest.raises(PcapError):
+            PcapReader(io.BytesIO(header))
+
+    def test_big_endian_files_readable(self):
+        header = struct.pack(">IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 1)
+        body = struct.pack(">IIII", 1, 500, 4, 4) + b"abcd"
+        records = list(PcapReader(io.BytesIO(header + body)))
+        assert records[0].data == b"abcd"
+        assert records[0].timestamp_ps == PS_PER_SEC + 500 * PS_PER_US

@@ -1,0 +1,152 @@
+"""Tests for pcapng reading and writing."""
+
+import io
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PcapError
+from repro.net import (
+    PcapRecord,
+    PcapngReader,
+    PcapngWriter,
+    build_udp,
+    read_pcapng,
+    write_pcapng,
+)
+from repro.units import PS_PER_NS, PS_PER_SEC, PS_PER_US, us
+
+
+def make_records(count=3):
+    return [
+        PcapRecord(timestamp_ps=us(10) * i + PS_PER_NS * 7, data=build_udp(frame_size=100 + i).data)
+        for i in range(count)
+    ]
+
+
+class TestRoundtrip:
+    def test_file_roundtrip_nanosecond(self, tmp_path):
+        path = tmp_path / "t.pcapng"
+        records = make_records()
+        assert write_pcapng(path, records) == 3
+        loaded = read_pcapng(path)
+        assert [r.data for r in loaded] == [r.data for r in records]
+        assert [r.timestamp_ps for r in loaded] == [r.timestamp_ps for r in records]
+
+    def test_microsecond_resolution_truncates(self, tmp_path):
+        path = tmp_path / "us.pcapng"
+        record = PcapRecord(timestamp_ps=5 * PS_PER_US + 999 * PS_PER_NS, data=b"\x00" * 60)
+        write_pcapng(path, [record], tsresol_decimal=6)
+        assert read_pcapng(path)[0].timestamp_ps == 5 * PS_PER_US
+
+    def test_stream_roundtrip(self):
+        buffer = io.BytesIO()
+        with PcapngWriter(buffer) as writer:
+            for record in make_records(2):
+                writer.write(record)
+        buffer.seek(0)
+        assert len(list(PcapngReader(buffer))) == 2
+
+    def test_orig_len_preserved(self, tmp_path):
+        path = tmp_path / "cut.pcapng"
+        write_pcapng(path, [PcapRecord(timestamp_ps=0, data=b"\x00" * 64, orig_len=1514)])
+        loaded = read_pcapng(path)[0]
+        assert len(loaded.data) == 64
+        assert loaded.original_length == 1514
+
+    @settings(max_examples=30)
+    @given(st.lists(st.binary(min_size=14, max_size=200), max_size=10))
+    def test_arbitrary_frames(self, frames):
+        buffer = io.BytesIO()
+        with PcapngWriter(buffer) as writer:
+            for index, frame in enumerate(frames):
+                writer.write(PcapRecord(timestamp_ps=index * 1000, data=frame))
+        buffer.seek(0)
+        assert [r.data for r in PcapngReader(buffer)] == frames
+
+
+def shb(endian="<"):
+    body = struct.pack(endian + "IHHq", 0x1A2B3C4D, 1, 0, -1)
+    total = 12 + len(body)
+    return struct.pack(endian + "II", 0x0A0D0D0A, total) + body + struct.pack(endian + "I", total)
+
+
+def idb(endian="<", tsresol=None, snaplen=0):
+    body = struct.pack(endian + "HHI", 1, 0, snaplen)
+    if tsresol is not None:
+        body += struct.pack(endian + "HHB3x", 9, 1, tsresol)
+        body += struct.pack(endian + "HH", 0, 0)
+    total = 12 + len(body)
+    return struct.pack(endian + "II", 1, total) + body + struct.pack(endian + "I", total)
+
+
+def epb(endian="<", units=1234, data=b"\xaa" * 16, iface=0):
+    pad = (-len(data)) % 4
+    body = struct.pack(endian + "IIIII", iface, units >> 32, units & 0xFFFFFFFF, len(data), len(data)) + data + b"\x00" * pad
+    total = 12 + len(body)
+    return struct.pack(endian + "II", 6, total) + body + struct.pack(endian + "I", total)
+
+
+class TestFormatDetails:
+    def test_big_endian_section(self):
+        wire = shb(">") + idb(">") + epb(">", units=500)
+        records = list(PcapngReader(io.BytesIO(wire)))
+        assert len(records) == 1
+        assert records[0].timestamp_ps == 500 * PS_PER_US  # default µs
+
+    def test_default_resolution_is_microseconds(self):
+        wire = shb() + idb() + epb(units=3)
+        assert list(PcapngReader(io.BytesIO(wire)))[0].timestamp_ps == 3 * PS_PER_US
+
+    def test_power_of_two_tsresol(self):
+        # tsresol 0x89: 2^-9 seconds per unit.
+        wire = shb() + idb(tsresol=0x89) + epb(units=2)
+        record = list(PcapngReader(io.BytesIO(wire)))[0]
+        assert record.timestamp_ps == 2 * round(PS_PER_SEC / 512)
+
+    def test_simple_packet_block(self):
+        data = b"\xbb" * 20
+        body = struct.pack("<I", len(data)) + data
+        total = 12 + len(body)
+        spb = struct.pack("<II", 3, total) + body + struct.pack("<I", total)
+        wire = shb() + idb() + spb
+        record = list(PcapngReader(io.BytesIO(wire)))[0]
+        assert record.data == data
+        assert record.timestamp_ps == 0
+
+    def test_unknown_blocks_skipped(self):
+        custom = struct.pack("<II", 0x0BAD_F00D & 0x7FFFFFFF, 12) + struct.pack("<I", 12)
+        wire = shb() + custom + idb() + epb()
+        assert len(list(PcapngReader(io.BytesIO(wire)))) == 1
+
+    def test_multiple_sections_reset_interfaces(self):
+        wire = shb() + idb(tsresol=9) + epb(units=1) + shb() + idb() + epb(units=1)
+        records = list(PcapngReader(io.BytesIO(wire)))
+        assert records[0].timestamp_ps == PS_PER_NS  # ns section
+        assert records[1].timestamp_ps == PS_PER_US  # default µs section
+
+
+class TestErrors:
+    def test_missing_shb(self):
+        with pytest.raises(PcapError):
+            list(PcapngReader(io.BytesIO(idb() + epb())))
+
+    def test_bad_magic(self):
+        wire = bytearray(shb())
+        wire[8] = 0x99
+        with pytest.raises(PcapError):
+            list(PcapngReader(io.BytesIO(bytes(wire))))
+
+    def test_packet_without_interface(self):
+        with pytest.raises(PcapError):
+            list(PcapngReader(io.BytesIO(shb() + epb())))
+
+    def test_truncated_block(self):
+        wire = shb() + idb() + epb()
+        with pytest.raises(PcapError):
+            list(PcapngReader(io.BytesIO(wire[:-6])))
+
+    def test_writer_validates_tsresol(self):
+        with pytest.raises(PcapError):
+            PcapngWriter(io.BytesIO(), tsresol_decimal=13)

@@ -1,0 +1,379 @@
+"""Tests for OpenFlow 1.0 encode/decode, matches, actions, channel."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import OpenFlowError
+from repro.net import build_arp_request, build_tcp, build_udp
+from repro.openflow import (
+    BarrierReply,
+    BarrierRequest,
+    ControlChannel,
+    EchoReply,
+    EchoRequest,
+    ErrorMsg,
+    FeaturesReply,
+    FlowMod,
+    FlowRemoved,
+    Hello,
+    Match,
+    MessageBuffer,
+    OutputAction,
+    PacketIn,
+    PacketOut,
+    PhyPort,
+    SetDlAction,
+    SetNwAction,
+    SetTpAction,
+    SetVlanVidAction,
+    StatsReply,
+    StatsRequest,
+    StripVlanAction,
+    apply_rewrites,
+    constants as ofp,
+    parse_message,
+)
+from repro.sim import Simulator
+from repro.units import us
+
+
+class TestHeaderAndRoundtrips:
+    def test_hello_wire_format(self):
+        wire = Hello(xid=7).pack()
+        assert wire == bytes([1, 0, 0, 8, 0, 0, 0, 7])
+
+    @pytest.mark.parametrize(
+        "message",
+        [
+            Hello(xid=1),
+            EchoRequest(xid=2, payload=b"ping"),
+            EchoReply(xid=3, payload=b"pong"),
+            ErrorMsg(xid=4, err_type=3, err_code=0, data=b"ctx"),
+            BarrierRequest(xid=5),
+            BarrierReply(xid=6),
+            StatsRequest(xid=7, stats_type=ofp.OFPST_PORT, request_body=b"\x00" * 8),
+            StatsReply(xid=8, stats_type=ofp.OFPST_FLOW, reply_body=b"\x01" * 12),
+            PacketIn(xid=9, in_port=3, reason=ofp.OFPR_NO_MATCH, data=b"\xaa" * 60),
+            PacketOut(
+                xid=10,
+                in_port=ofp.OFPP_NONE,
+                actions=[OutputAction(port=2)],
+                data=b"\xbb" * 60,
+            ),
+        ],
+    )
+    def test_roundtrip(self, message):
+        parsed = parse_message(message.pack())
+        assert type(parsed) is type(message)
+        assert parsed.xid == message.xid
+
+    def test_packet_in_preserves_payload(self):
+        frame = build_udp(frame_size=100).data
+        parsed = parse_message(PacketIn(in_port=2, data=frame).pack())
+        assert parsed.data == frame
+        assert parsed.in_port == 2
+        assert parsed.total_len == len(frame)
+
+    def test_flow_mod_roundtrip(self):
+        message = FlowMod(
+            xid=42,
+            match=Match.exact(dl_type=0x0800, nw_dst="10.1.2.3"),
+            cookie=0xDEADBEEF,
+            command=ofp.OFPFC_ADD,
+            idle_timeout=30,
+            hard_timeout=300,
+            priority=1000,
+            actions=[SetNwAction("dst", "192.168.0.9"), OutputAction(port=4)],
+        )
+        parsed = parse_message(message.pack())
+        assert parsed.cookie == 0xDEADBEEF
+        assert parsed.priority == 1000
+        assert parsed.match.nw_dst == "10.1.2.3"
+        assert parsed.match.wildcards == message.match.wildcards
+        assert isinstance(parsed.actions[0], SetNwAction)
+        assert isinstance(parsed.actions[1], OutputAction)
+        assert parsed.actions[1].port == 4
+
+    def test_flow_removed_roundtrip(self):
+        message = FlowRemoved(
+            xid=11,
+            match=Match.exact(nw_dst="10.0.0.5"),
+            cookie=5,
+            priority=7,
+            reason=ofp.OFPRR_IDLE_TIMEOUT,
+            duration_sec=12,
+            packet_count=99,
+            byte_count=12345,
+        )
+        parsed = parse_message(message.pack())
+        assert parsed.packet_count == 99
+        assert parsed.byte_count == 12345
+        assert parsed.reason == ofp.OFPRR_IDLE_TIMEOUT
+
+    def test_features_reply_with_ports(self):
+        message = FeaturesReply(
+            xid=12,
+            datapath_id=0x00A0B0C0D0E0F001,
+            n_tables=2,
+            ports=[PhyPort(port_no=i, name=f"eth{i}") for i in range(4)],
+        )
+        parsed = parse_message(message.pack())
+        assert parsed.datapath_id == 0x00A0B0C0D0E0F001
+        assert len(parsed.ports) == 4
+        assert parsed.ports[2].name == "eth2"
+
+    def test_bad_version_rejected(self):
+        wire = bytearray(Hello().pack())
+        wire[0] = 4  # OpenFlow 1.3
+        with pytest.raises(OpenFlowError):
+            parse_message(bytes(wire))
+
+    def test_short_header_rejected(self):
+        with pytest.raises(OpenFlowError):
+            parse_message(b"\x01\x00\x00")
+
+    def test_unknown_type_rejected(self):
+        wire = bytearray(Hello().pack())
+        wire[1] = 99
+        with pytest.raises(OpenFlowError):
+            parse_message(bytes(wire))
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_xid_roundtrip(self, xid):
+        assert parse_message(Hello(xid=xid).pack()).xid == xid
+
+
+class TestMatch:
+    def test_pack_length(self):
+        assert len(Match().pack()) == 40
+
+    def test_roundtrip(self):
+        match = Match.exact(
+            in_port=3,
+            dl_src="02:00:00:00:00:01",
+            dl_type=0x0800,
+            nw_proto=17,
+            nw_src="10.0.0.1",
+            tp_dst=53,
+        )
+        parsed = Match.unpack(match.pack())
+        assert parsed.wildcards == match.wildcards
+        assert parsed.in_port == 3
+        assert parsed.nw_src == "10.0.0.1"
+        assert parsed.tp_dst == 53
+
+    def test_from_packet_udp(self):
+        frame = build_udp(
+            frame_size=100,
+            src_ip="10.0.0.1",
+            dst_ip="10.0.0.2",
+            src_port=1000,
+            dst_port=2000,
+        )
+        key = Match.from_packet(frame.data, in_port=1)
+        assert key.wildcards == 0
+        assert key.dl_type == 0x0800
+        assert key.nw_proto == 17
+        assert (key.tp_src, key.tp_dst) == (1000, 2000)
+
+    def test_from_packet_arp(self):
+        key = Match.from_packet(build_arp_request(target_ip="10.0.0.9").data, 2)
+        assert key.dl_type == 0x0806
+        assert key.nw_dst == "10.0.0.9"
+        assert key.nw_proto == 1  # ARP request opcode
+
+    def test_from_packet_vlan(self):
+        frame = build_udp(frame_size=100, vlan=55)
+        key = Match.from_packet(frame.data, 0)
+        assert key.dl_vlan == 55
+        assert key.dl_type == 0x0800  # inner type
+
+    def test_wildcard_all_matches_everything(self):
+        rule = Match()  # all wildcards
+        key = Match.from_packet(build_tcp(frame_size=100).data, 7)
+        assert rule.matches(key)
+
+    def test_exact_field_mismatch(self):
+        rule = Match.exact(tp_dst=80)
+        key = Match.from_packet(build_udp(frame_size=100, dst_port=81).data, 0)
+        assert not rule.matches(key)
+
+    def test_prefix_wildcards(self):
+        rule = Match.exact(dl_type=0x0800, nw_dst="10.1.0.0")
+        rule.set_nw_dst_prefix(16)
+        inside = Match.from_packet(build_udp(frame_size=100, dst_ip="10.1.200.1").data, 0)
+        outside = Match.from_packet(build_udp(frame_size=100, dst_ip="10.2.0.1").data, 0)
+        assert rule.matches(inside)
+        assert not rule.matches(outside)
+
+    def test_prefix_roundtrips_through_wire(self):
+        rule = Match.exact(nw_src="172.16.0.0")
+        rule.set_nw_src_prefix(12)
+        parsed = Match.unpack(rule.pack())
+        assert parsed.nw_src_prefix_len == 12
+
+    def test_strict_equality_ignores_wildcarded_fields(self):
+        first = Match.exact(tp_dst=80)
+        second = Match.exact(tp_dst=80)
+        second.in_port = 99  # hidden behind the wildcard
+        assert first.is_strict_equal(second)
+
+    def test_strict_equality_distinguishes_wildcards(self):
+        loose = Match.exact(tp_dst=80)
+        tight = Match.exact(tp_dst=80, nw_proto=6)
+        assert not loose.is_strict_equal(tight)
+
+
+class TestActions:
+    def test_output_roundtrip(self):
+        packed = OutputAction(port=5, max_len=128).pack()
+        assert len(packed) == 8
+        from repro.openflow import unpack_actions
+
+        actions = unpack_actions(packed, 0, len(packed))
+        assert actions[0].port == 5
+        assert actions[0].max_len == 128
+
+    def test_rewrite_chain(self):
+        frame = build_udp(frame_size=100, dst_ip="10.0.0.2", dst_port=2000)
+        data, out_ports = apply_rewrites(
+            frame.data,
+            [
+                SetDlAction("dst", "02:aa:bb:cc:dd:ee"),
+                SetNwAction("dst", "192.168.1.1"),
+                SetTpAction("dst", 9999),
+                OutputAction(port=3),
+            ],
+        )
+        from repro.net import decode
+
+        decoded = decode(data)
+        assert decoded.ethernet.dst == "02:aa:bb:cc:dd:ee"
+        assert decoded.ipv4.dst == "192.168.1.1"
+        assert decoded.udp.dst_port == 9999
+        assert out_ports == [3]
+        # IPv4 checksum still valid after rewrite.
+        assert decoded.ipv4.verify_checksum(data, 14)
+
+    def test_vlan_push_and_strip(self):
+        frame = build_udp(frame_size=100)
+        tagged, __ = apply_rewrites(frame.data, [SetVlanVidAction(vid=77)])
+        from repro.net import decode
+
+        assert decode(tagged).vlan_tags[0].vid == 77
+        stripped, __ = apply_rewrites(tagged, [StripVlanAction()])
+        assert not decode(stripped).vlan_tags
+        assert stripped == frame.data
+
+    def test_multiple_outputs(self):
+        __, out_ports = apply_rewrites(
+            build_udp(frame_size=100).data,
+            [OutputAction(port=1), OutputAction(port=2)],
+        )
+        assert out_ports == [1, 2]
+
+    def test_bad_action_length_rejected(self):
+        from repro.openflow import unpack_actions
+
+        with pytest.raises(OpenFlowError):
+            unpack_actions(b"\x00\x00\x00\x05\x00\x00\x00\x00", 0, 8)
+
+
+class TestMessageBuffer:
+    def test_coalesced_messages(self):
+        stream = Hello(xid=1).pack() + EchoRequest(xid=2, payload=b"x").pack()
+        buffer = MessageBuffer()
+        messages = buffer.feed(stream)
+        assert [m.xid for m in messages] == [1, 2]
+        assert buffer.pending_bytes == 0
+
+    def test_fragmented_message(self):
+        wire = PacketIn(xid=9, data=b"\xaa" * 100).pack()
+        buffer = MessageBuffer()
+        assert buffer.feed(wire[:5]) == []
+        assert buffer.feed(wire[5:50]) == []
+        messages = buffer.feed(wire[50:])
+        assert len(messages) == 1
+        assert messages[0].xid == 9
+
+
+class TestControlChannel:
+    def test_in_order_delivery_with_latency(self):
+        sim = Simulator()
+        channel = ControlChannel(sim, latency_ps=us(50))
+        arrivals = []
+        channel.switch.on_message = lambda m: arrivals.append((m.xid, sim.now))
+        channel.controller.send(Hello(xid=1))
+        channel.controller.send(Hello(xid=2))
+        sim.run()
+        assert [xid for xid, __ in arrivals] == [1, 2]
+        assert arrivals[0][1] >= us(50)
+        assert arrivals[1][1] >= arrivals[0][1]
+
+    def test_bidirectional(self):
+        sim = Simulator()
+        channel = ControlChannel(sim)
+        channel.switch.on_message = lambda m: channel.switch.send(EchoReply(xid=m.xid))
+        replies = []
+        channel.controller.on_message = lambda m: replies.append((m.xid, sim.now))
+        channel.controller.send(EchoRequest(xid=77))
+        sim.run()
+        assert replies[0][0] == 77
+        assert replies[0][1] >= 2 * channel.latency_ps  # full RTT
+
+    def test_send_unconnected_raises(self):
+        from repro.openflow import ControlEndpoint
+
+        with pytest.raises(OpenFlowError):
+            ControlEndpoint("orphan").send(Hello())
+
+    def test_counters(self):
+        sim = Simulator()
+        channel = ControlChannel(sim)
+        channel.switch.on_message = lambda m: None
+        channel.controller.send(Hello(xid=1))
+        sim.run()
+        assert channel.controller.tx_messages == 1
+        assert channel.switch.rx_messages == 1
+        assert channel.controller.tx_bytes == 8
+
+
+class TestTosAndPcpActions:
+    def test_set_nw_tos_rewrites_dscp_keeps_ecn(self):
+        from repro.net import decode as net_decode
+        from repro.openflow import SetNwTosAction
+
+        frame = bytearray(build_udp(frame_size=100).data)
+        frame[15] = (0 << 2) | 0b10  # dscp 0, ecn 2
+        data, __ = apply_rewrites(bytes(frame), [SetNwTosAction(tos=46 << 2)])
+        decoded = net_decode(data)
+        assert decoded.ipv4.dscp == 46
+        assert decoded.ipv4.ecn == 2
+        assert decoded.ipv4.verify_checksum(data, 14)
+
+    def test_set_vlan_pcp(self):
+        from repro.net import decode as net_decode
+        from repro.openflow import SetVlanPcpAction
+
+        frame = build_udp(frame_size=100, vlan=42)
+        data, __ = apply_rewrites(frame.data, [SetVlanPcpAction(pcp=5)])
+        decoded = net_decode(data)
+        assert decoded.vlan_tags[0].pcp == 5
+        assert decoded.vlan_tags[0].vid == 42
+
+    def test_pcp_untagged_noop(self):
+        from repro.openflow import SetVlanPcpAction
+
+        frame = build_udp(frame_size=100)
+        data, __ = apply_rewrites(frame.data, [SetVlanPcpAction(pcp=3)])
+        assert data == frame.data
+
+    def test_wire_roundtrip(self):
+        from repro.openflow import SetNwTosAction, SetVlanPcpAction, unpack_actions
+        from repro.openflow.actions import pack_actions
+
+        actions = [SetVlanPcpAction(pcp=6), SetNwTosAction(tos=0xB8)]
+        packed = pack_actions(actions)
+        parsed = unpack_actions(packed, 0, len(packed))
+        assert parsed[0].pcp == 6
+        assert parsed[1].tos == 0xB8

@@ -1,0 +1,270 @@
+"""Property-based tests on core invariants (hypothesis).
+
+These cover the data structures whose subtle semantics the rest of the
+system leans on: the flow table's lookup/modify rules, the ofp_match
+wire format, schedule arithmetic, and FIFO conservation.
+"""
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.devices import FlowEntry, FlowTable
+from repro.net import Packet, build_udp
+from repro.openflow import Match, OutputAction, constants as ofp
+from repro.osnt.generator import ConstantBitRate
+from repro.units import GBPS, frame_wire_bytes
+
+ports = st.integers(min_value=0, max_value=65535)
+priorities = st.integers(min_value=0, max_value=0xFFFF)
+ipv4s = st.integers(min_value=0, max_value=2**32 - 1).map(
+    lambda v: ".".join(str((v >> s) & 0xFF) for s in (24, 16, 8, 0))
+)
+
+
+@st.composite
+def matches(draw):
+    """Random matches with a random subset of constrained fields."""
+    fields = {}
+    if draw(st.booleans()):
+        fields["tp_dst"] = draw(ports)
+    if draw(st.booleans()):
+        fields["tp_src"] = draw(ports)
+    if draw(st.booleans()):
+        fields["nw_proto"] = draw(st.sampled_from([6, 17]))
+    if draw(st.booleans()):
+        fields["nw_dst"] = draw(ipv4s)
+    if draw(st.booleans()):
+        fields["dl_type"] = 0x0800
+    match = Match.exact(**fields) if fields else Match()
+    if "nw_dst" in fields:
+        match.set_nw_dst_prefix(draw(st.integers(min_value=1, max_value=32)))
+    return match
+
+
+@st.composite
+def packets(draw):
+    return build_udp(
+        frame_size=draw(st.integers(min_value=64, max_value=1518)),
+        dst_ip=draw(ipv4s),
+        src_port=draw(ports),
+        dst_port=draw(ports),
+    )
+
+
+class TestMatchProperties:
+    @settings(max_examples=100)
+    @given(matches())
+    def test_wire_roundtrip_preserves_semantics(self, match):
+        parsed = Match.unpack(match.pack())
+        assert parsed.is_strict_equal(match)
+        assert parsed.wildcards == match.wildcards
+
+    @settings(max_examples=100)
+    @given(packets())
+    def test_exact_key_matches_itself(self, packet):
+        key = Match.from_packet(packet.data, in_port=3)
+        assert key.matches(key)
+
+    @settings(max_examples=100)
+    @given(matches(), packets())
+    def test_wildcard_all_dominates(self, rule, packet):
+        key = Match.from_packet(packet.data, in_port=1)
+        if rule.matches(key):
+            # Loosening every field keeps it matching.
+            assert Match().matches(key)
+
+    @settings(max_examples=100)
+    @given(packets(), st.integers(min_value=0, max_value=32))
+    def test_shorter_prefix_matches_superset(self, packet, prefix_len):
+        key = Match.from_packet(packet.data, in_port=1)
+        rule = Match.exact(dl_type=0x0800, nw_dst=key.nw_dst)
+        rule.set_nw_dst_prefix(prefix_len)
+        assert rule.matches(key)  # its own address always within prefix
+
+    @settings(max_examples=50)
+    @given(matches())
+    def test_strict_equal_is_reflexive(self, match):
+        assert match.is_strict_equal(match)
+
+
+class TestFlowTableProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(matches(), priorities, st.integers(min_value=1, max_value=4)),
+            min_size=1,
+            max_size=12,
+        ),
+        packets(),
+    )
+    def test_lookup_returns_max_priority_match(self, rules, packet):
+        table = FlowTable(capacity=64)
+        for match, priority, out_port in rules:
+            table.add(
+                FlowEntry(match=match, priority=priority, actions=[OutputAction(out_port)])
+            )
+        key = Match.from_packet(packet.data, in_port=1)
+        hit = table.lookup(key, now_ps=0)
+        matching = [e for e in table.entries if e.match.matches(key)]
+        if hit is None:
+            assert not matching
+        else:
+            assert hit.priority == max(e.priority for e in matching)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.tuples(matches(), priorities), min_size=1, max_size=10)
+    )
+    def test_wildcard_delete_empties_table(self, rules):
+        table = FlowTable(capacity=64)
+        for match, priority in rules:
+            table.add(FlowEntry(match=match, priority=priority))
+        removed = table.delete(Match())
+        assert len(table) == 0
+        # Every distinct (match, priority) pair removed exactly once.
+        assert len(removed) + len(table) <= len(rules)
+
+    @settings(max_examples=60, deadline=None)
+    @given(matches(), priorities)
+    def test_add_then_strict_delete_roundtrip(self, match, priority):
+        table = FlowTable()
+        table.add(FlowEntry(match=match, priority=priority))
+        removed = table.delete(match, priority=priority, strict=True)
+        assert len(removed) == 1
+        assert len(table) == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(matches(), priorities, st.integers(min_value=1, max_value=4))
+    def test_add_is_idempotent_for_identical_rules(self, match, priority, out_port):
+        table = FlowTable()
+        table.add(FlowEntry(match=match, priority=priority, actions=[OutputAction(out_port)]))
+        table.add(FlowEntry(match=match, priority=priority, actions=[OutputAction(out_port)]))
+        assert len(table) == 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(matches(), priorities), max_size=20))
+    def test_capacity_never_exceeded(self, rules):
+        from repro.devices import TableFullError
+
+        table = FlowTable(capacity=5)
+        for match, priority in rules:
+            try:
+                table.add(FlowEntry(match=match, priority=priority))
+            except TableFullError:
+                pass
+            assert len(table) <= 5
+
+
+class TestScheduleProperties:
+    @settings(max_examples=50)
+    @given(
+        st.floats(min_value=0.05, max_value=1.0),
+        st.integers(min_value=64, max_value=1518),
+        st.integers(min_value=100, max_value=2000),
+    )
+    def test_cbr_long_run_rate_within_one_ps_per_packet(self, load, size, count):
+        schedule = ConstantBitRate(load * 10 * GBPS)
+        total = sum(schedule.gap_after(size) for __ in range(count))
+        exact = count * frame_wire_bytes(size) * 8 * 1e12 / (load * 10 * GBPS)
+        assert abs(total - exact) <= 1.0  # residue accumulator bound
+
+
+class TestFifoProperties:
+    @settings(max_examples=50)
+    @given(st.lists(st.integers(min_value=60, max_value=1514), max_size=40))
+    def test_conservation_push_pop(self, sizes):
+        from repro.hw import ByteFifo
+
+        fifo = ByteFifo(16_384)
+        accepted = 0
+        for size in sizes:
+            if fifo.push(Packet(b"\x00" * size)):
+                accepted += 1
+        popped = 0
+        while fifo.pop() is not None:
+            popped += 1
+        assert popped == accepted
+        assert fifo.dropped == len(sizes) - accepted
+        assert fifo.occupancy_bytes == 0
+
+
+class TestLpmAgainstReference:
+    """The trie FIB must agree with a brute-force mask-based reference."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2**32 - 1),
+                st.integers(min_value=0, max_value=32),
+            ),
+            min_size=1,
+            max_size=20,
+        ),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_trie_matches_linear_scan(self, routes, address):
+        from repro.devices import Fib, Route
+        from repro.net.fields import ipv4_to_str
+
+        fib = Fib()
+        reference = {}  # (masked net, length) -> out_port; replicates trie replace
+        for index, (net, length) in enumerate(routes):
+            mask = ((1 << length) - 1) << (32 - length) if length else 0
+            prefix = net & mask
+            fib.add(
+                Route(
+                    prefix=ipv4_to_str(net),
+                    prefix_len=length,
+                    out_port=index,
+                    next_hop_mac="02:aa:00:00:00:01",
+                )
+            )
+            reference[(prefix, length)] = index
+
+        best_reference = None
+        for (prefix, length), out_port in reference.items():
+            mask = ((1 << length) - 1) << (32 - length) if length else 0
+            if (address & mask) == prefix:
+                if best_reference is None or length > best_reference[0]:
+                    best_reference = (length, out_port)
+
+        hit, __ = fib.lookup(ipv4_to_str(address))
+        if best_reference is None:
+            assert hit is None
+        else:
+            assert hit is not None
+            assert hit.out_port == best_reference[1]
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2**32 - 1),
+                st.integers(min_value=0, max_value=32),
+            ),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    def test_remove_is_inverse_of_add(self, routes):
+        from repro.devices import Fib, Route
+        from repro.net.fields import ipv4_to_str
+
+        fib = Fib()
+        seen = set()
+        for net, length in routes:
+            mask = ((1 << length) - 1) << (32 - length) if length else 0
+            seen.add((net & mask, length))
+            fib.add(
+                Route(
+                    prefix=ipv4_to_str(net),
+                    prefix_len=length,
+                    out_port=1,
+                    next_hop_mac="02:aa:00:00:00:01",
+                )
+            )
+        assert fib.size == len(seen)
+        for prefix, length in seen:
+            assert fib.remove(ipv4_to_str(prefix), length)
+        assert fib.size == 0

@@ -1,0 +1,328 @@
+"""Tests for the discrete-event kernel: ordering, cancellation, processes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim import (
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    RandomStreams,
+    Signal,
+    Simulator,
+    spawn,
+)
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0
+
+    def test_call_after_advances_clock(self):
+        sim = Simulator()
+        seen = []
+        sim.call_after(1500, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1500]
+        assert sim.now == 1500
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.call_after(300, order.append, "c")
+        sim.call_after(100, order.append, "a")
+        sim.call_after(200, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_equal_time_fires_in_scheduling_order(self):
+        sim = Simulator()
+        order = []
+        for label in "abcde":
+            sim.call_after(50, order.append, label)
+        sim.run()
+        assert order == list("abcde")
+
+    def test_priority_overrides_scheduling_order(self):
+        sim = Simulator()
+        order = []
+        sim.call_after(10, order.append, "low", priority=PRIORITY_LOW)
+        sim.call_after(10, order.append, "normal")
+        sim.call_after(10, order.append, "high", priority=PRIORITY_HIGH)
+        sim.run()
+        assert order == ["high", "normal", "low"]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.call_after(100, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.call_at(50, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().call_after(-1, lambda: None)
+
+    def test_events_scheduled_during_run_fire(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            sim.call_after(10, lambda: seen.append(sim.now))
+
+        sim.call_after(5, first)
+        sim.run()
+        assert seen == [15]
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=50))
+    def test_fire_times_never_decrease(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.call_after(delay, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+
+class TestRunControl:
+    def test_run_until_stops_clock_exactly(self):
+        sim = Simulator()
+        sim.call_after(100, lambda: None)
+        sim.call_after(900, lambda: None)
+        fired = sim.run(until=500)
+        assert fired == 1
+        assert sim.now == 500
+        assert sim.pending_events() == 1
+
+    def test_run_until_is_inclusive(self):
+        sim = Simulator()
+        seen = []
+        sim.call_after(500, seen.append, 1)
+        sim.run(until=500)
+        assert seen == [1]
+
+    def test_run_for_is_relative(self):
+        sim = Simulator()
+        sim.run(until=1000)
+        sim.call_after(200, lambda: None)
+        sim.run_for(500)
+        assert sim.now == 1500
+
+    def test_run_until_past_raises(self):
+        sim = Simulator()
+        sim.run(until=100)
+        with pytest.raises(SimulationError):
+            sim.run(until=50)
+
+    def test_max_events(self):
+        sim = Simulator()
+        for __ in range(10):
+            sim.call_after(1, lambda: None)
+        assert sim.run(max_events=3) == 3
+        assert sim.pending_events() == 7
+
+    def test_stop_from_callback(self):
+        sim = Simulator()
+        seen = []
+        sim.call_after(1, lambda: (seen.append("a"), sim.stop()))
+        sim.call_after(2, seen.append, "b")
+        sim.run()
+        assert seen == ["a"]
+        sim.run()
+        assert seen == ["a", "b"]
+
+    def test_cancel_prevents_firing(self):
+        sim = Simulator()
+        seen = []
+        event = sim.call_after(10, seen.append, "x")
+        sim.cancel(event)
+        sim.run()
+        assert seen == []
+        assert sim.pending_events() == 0
+
+    def test_cancel_fired_event_raises(self):
+        sim = Simulator()
+        event = sim.call_after(1, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.cancel(event)
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for __ in range(5):
+            sim.call_after(1, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+
+class TestProcesses:
+    def test_process_sleeps(self):
+        sim = Simulator()
+        marks = []
+
+        def proc():
+            marks.append(sim.now)
+            yield 100
+            marks.append(sim.now)
+            yield 250
+            marks.append(sim.now)
+
+        spawn(sim, proc())
+        sim.run()
+        assert marks == [0, 100, 350]
+
+    def test_process_result(self):
+        sim = Simulator()
+
+        def proc():
+            yield 10
+            return 42
+
+        process = spawn(sim, proc())
+        sim.run()
+        assert process.finished
+        assert process.result == 42
+
+    def test_signal_wakes_waiters_with_value(self):
+        sim = Simulator()
+        signal = Signal("ready")
+        got = []
+
+        def waiter():
+            value = yield signal
+            got.append((sim.now, value))
+
+        spawn(sim, waiter())
+        spawn(sim, waiter())
+        sim.call_after(500, signal.fire, "payload")
+        sim.run()
+        assert got == [(500, "payload"), (500, "payload")]
+
+    def test_signal_is_reusable(self):
+        sim = Simulator()
+        signal = Signal()
+        woken = []
+
+        def waiter():
+            yield signal
+            woken.append(sim.now)
+            yield signal
+            woken.append(sim.now)
+
+        spawn(sim, waiter())
+        sim.call_after(10, signal.fire)
+        sim.call_after(20, signal.fire)
+        sim.run()
+        assert woken == [10, 20]
+
+    def test_fire_with_no_waiters_returns_zero(self):
+        assert Signal().fire() == 0
+
+    def test_killed_process_stops(self):
+        sim = Simulator()
+        marks = []
+
+        def proc():
+            while True:
+                yield 10
+                marks.append(sim.now)
+
+        process = spawn(sim, proc())
+        sim.run(until=35)
+        process.kill()
+        sim.run(until=100)
+        assert marks == [10, 20, 30]
+
+    def test_bad_yield_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield "nonsense"
+
+        spawn(sim, proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestRandomStreams:
+    def test_same_name_same_stream_object(self):
+        streams = RandomStreams(7)
+        assert streams.stream("a") is streams.stream("a")
+
+    def test_reproducible_across_instances(self):
+        first = RandomStreams(7).stream("gen").random()
+        second = RandomStreams(7).stream("gen").random()
+        assert first == second
+
+    def test_different_names_are_independent(self):
+        streams = RandomStreams(7)
+        assert streams.stream("a").random() != streams.stream("b").random()
+
+    def test_different_seeds_differ(self):
+        assert RandomStreams(1).stream("x").random() != RandomStreams(2).stream("x").random()
+
+    def test_fork_is_stable_and_distinct(self):
+        root = RandomStreams(9)
+        fork_a = root.fork("dev0").stream("s").random()
+        fork_a_again = RandomStreams(9).fork("dev0").stream("s").random()
+        fork_b = root.fork("dev1").stream("s").random()
+        assert fork_a == fork_a_again
+        assert fork_a != fork_b
+
+
+class TestDaemonEvents:
+    def test_open_ended_run_ignores_daemon_only_queue(self):
+        sim = Simulator()
+        ticks = []
+
+        def tick():
+            ticks.append(sim.now)
+            sim.call_after(100, tick, daemon=True)
+
+        sim.call_after(100, tick, daemon=True)
+        fired = sim.run()  # no foreground work: returns immediately
+        assert fired == 0
+        assert ticks == []
+
+    def test_daemons_run_while_foreground_work_exists(self):
+        sim = Simulator()
+        ticks = []
+
+        def tick():
+            ticks.append(sim.now)
+            sim.call_after(100, tick, daemon=True)
+
+        sim.call_after(100, tick, daemon=True)
+        sim.call_after(1000, lambda: None)  # foreground anchor
+        sim.run()
+        # The run stops the moment the last foreground event fires; the
+        # daemon tick scheduled for the same instant no longer runs.
+        assert ticks == list(range(100, 901, 100))
+
+    def test_run_until_processes_daemons(self):
+        sim = Simulator()
+        ticks = []
+        sim.call_after(50, lambda: ticks.append(sim.now), daemon=True)
+        sim.run(until=100)
+        assert ticks == [50]
+        assert sim.now == 100
+
+    def test_cancelled_daemon_not_counted(self):
+        sim = Simulator()
+        event = sim.call_after(10, lambda: None, daemon=True)
+        sim.cancel(event)
+        assert sim.pending_events() == 0
+        sim.run()
+
+    def test_foreground_spawned_by_daemon_keeps_run_alive(self):
+        sim = Simulator()
+        seen = []
+
+        def daemon_tick():
+            sim.call_after(5, seen.append, "fg")  # foreground child
+
+        sim.call_after(10, daemon_tick, daemon=True)
+        sim.call_after(12, lambda: None)  # anchor so the daemon fires
+        sim.run()
+        assert seen == ["fg"]

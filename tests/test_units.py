@@ -1,0 +1,90 @@
+"""Tests for repro.units: time, rate and framing arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+from repro.errors import ConfigError
+
+
+class TestTimeConversions:
+    def test_ns_is_exact_integer(self):
+        assert units.ns(1) == 1_000
+        assert units.ns(6.25) == 6_250
+
+    def test_us_ms_seconds(self):
+        assert units.us(1) == 1_000_000
+        assert units.ms(1) == 1_000_000_000
+        assert units.seconds(1) == 1_000_000_000_000
+
+    def test_roundtrip_to_float(self):
+        assert units.to_seconds(units.seconds(2.5)) == pytest.approx(2.5)
+        assert units.to_ns(units.ns(123)) == pytest.approx(123)
+        assert units.to_us(units.us(7)) == pytest.approx(7)
+
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_ns_roundtrip_integers(self, value):
+        assert units.to_ns(units.ns(value)) == value
+
+
+class TestRates:
+    def test_parse_plain_units(self):
+        assert units.parse_rate("10Gbps") == 10 * units.GBPS
+        assert units.parse_rate("500 Mbps") == 500 * units.MBPS
+        assert units.parse_rate("64kbps") == 64 * units.KBPS
+        assert units.parse_rate("100") == 100
+
+    def test_parse_is_case_insensitive(self):
+        assert units.parse_rate("1gbps") == units.parse_rate("1GBPS")
+
+    def test_parse_fractional(self):
+        assert units.parse_rate("2.5Gbps") == 2.5 * units.GBPS
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("fast", "", "10 Tbps", "-3Gbps"):
+            with pytest.raises(ConfigError):
+                units.parse_rate(bad)
+
+    def test_format_rate(self):
+        assert units.format_rate(10 * units.GBPS) == "10.000 Gbps"
+        assert units.format_rate(1500) == "1.500 Kbps"
+        assert units.format_rate(10) == "10 bps"
+
+    def test_wire_time_one_byte_at_10g(self):
+        # At 10 Gbps one byte takes exactly 800 ps.
+        assert units.wire_time_ps(1, units.TEN_GBPS) == 800
+
+    def test_wire_time_rejects_nonpositive_rate(self):
+        with pytest.raises(ConfigError):
+            units.wire_time_ps(100, 0)
+
+    @given(st.integers(min_value=1, max_value=10_000))
+    def test_wire_time_scales_linearly_at_10g(self, nbytes):
+        assert units.wire_time_ps(nbytes, units.TEN_GBPS) == nbytes * 800
+
+
+class TestFraming:
+    def test_min_frame_wire_bytes(self):
+        # 64-byte frame + 8 preamble + 12 IFG = 84 bytes on the wire.
+        assert units.frame_wire_bytes(64) == 84
+
+    def test_runt_frames_padded(self):
+        assert units.frame_wire_bytes(60) == units.frame_wire_bytes(64)
+
+    def test_canonical_14_88_mpps(self):
+        # The famous 10GbE small-packet rate: 14.88 Mpps for 64B frames.
+        pps = units.line_rate_pps(64)
+        assert pps == pytest.approx(14_880_952.38, rel=1e-6)
+
+    def test_1518_byte_line_rate(self):
+        pps = units.line_rate_pps(1518)
+        assert pps == pytest.approx(812_743.82, rel=1e-6)
+
+    def test_goodput_below_line_rate(self):
+        goodput = units.line_rate_goodput_bps(64)
+        assert goodput == pytest.approx(10 * units.GBPS * 64 / 84, rel=1e-9)
+
+    @given(st.integers(min_value=64, max_value=1518))
+    def test_goodput_monotonic_in_frame_size(self, size):
+        # Larger frames amortise the 20-byte overhead: goodput rises.
+        assert units.line_rate_goodput_bps(size + 1) > units.line_rate_goodput_bps(size)
