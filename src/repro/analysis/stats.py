@@ -24,9 +24,15 @@ class SummaryStats:
     p999: float
 
     @classmethod
-    def of(cls, samples: Sequence[float]) -> "SummaryStats":
+    def of(cls, samples: Sequence[float]) -> Optional["SummaryStats"]:
+        """Summarise ``samples``; ``None`` for an empty set.
+
+        A single sample yields a degenerate summary (std 0, every
+        percentile equal to the sample) rather than an error, so
+        callers can summarise whatever a run produced.
+        """
         if not samples:
-            raise ConfigError("cannot summarise an empty sample set")
+            return None
         ordered = sorted(samples)
         count = len(ordered)
         mean = sum(ordered) / count
@@ -44,12 +50,19 @@ class SummaryStats:
         )
 
 
-def percentile(samples: Sequence[float], pct: float, presorted: bool = False) -> float:
-    """Linear-interpolation percentile (inclusive method)."""
-    if not samples:
-        raise ConfigError("cannot take a percentile of nothing")
+def percentile(
+    samples: Sequence[float], pct: float, presorted: bool = False
+) -> Optional[float]:
+    """Linear-interpolation percentile (inclusive method).
+
+    ``None`` for an empty sample set; a single sample is its own value
+    at every percentile. An out-of-range ``pct`` is still a caller bug
+    and raises.
+    """
     if not 0 <= pct <= 100:
         raise ConfigError(f"percentile must be in [0, 100], got {pct}")
+    if not samples:
+        return None
     ordered = samples if presorted else sorted(samples)
     if len(ordered) == 1:
         return float(ordered[0])

@@ -62,10 +62,26 @@ class DmaEngine:
         self._ring: Deque[Packet] = deque()
         self._busy = False
 
+    def register_metrics(self, registry, prefix: str) -> None:
+        """Publish the DMA's counters and ring state as pull gauges."""
+        stats = self.stats
+        registry.gauge(f"{prefix}.delivered", lambda: stats.delivered)
+        registry.gauge(f"{prefix}.delivered_bytes", lambda: stats.delivered_bytes)
+        registry.gauge(f"{prefix}.dropped", lambda: stats.dropped)
+        registry.gauge(f"{prefix}.peak_ring_occupancy", lambda: stats.peak_ring_occupancy)
+        registry.gauge(f"{prefix}.ring_occupancy", lambda: len(self._ring))
+        registry.gauge(f"{prefix}.ring_slots", lambda: self.ring_slots)
+
     def enqueue(self, packet: Packet) -> bool:
         """Hand a captured packet to the DMA; False if the ring is full."""
         if len(self._ring) >= self.ring_slots:
             self.stats.dropped += 1
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.instant(
+                    self.sim.now, "packet", "drop",
+                    {"dma": self.name, "reason": "ring_full"},
+                )
             return False
         self._ring.append(packet)
         if len(self._ring) > self.stats.peak_ring_occupancy:
@@ -95,6 +111,12 @@ class DmaEngine:
         packet = self._ring.popleft()
         self.stats.delivered += 1
         self.stats.delivered_bytes += self._transfer_bytes(packet)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant(
+                self.sim.now, "packet", "host",
+                {"dma": self.name, "bytes": self._transfer_bytes(packet)},
+            )
         if self.on_host_deliver is not None:
             self.on_host_deliver(packet)
         self._start_next()

@@ -42,6 +42,13 @@ class MacStats:
             self.first_activity_ps = now
         self.last_activity_ps = now
 
+    def register_metrics(self, registry, prefix: str) -> None:
+        """Publish these counters as pull gauges under ``prefix``."""
+        registry.gauge(f"{prefix}.packets", lambda: self.packets)
+        registry.gauge(f"{prefix}.bytes", lambda: self.bytes)
+        registry.gauge(f"{prefix}.errors", lambda: self.errors)
+        registry.gauge(f"{prefix}.busy_ps", lambda: self.busy_ps)
+
 
 class TxMac:
     """Serializing transmit MAC with a byte-bounded staging FIFO."""
@@ -102,6 +109,9 @@ class TxMac:
         now = self.sim.now
         self.stats.note(now, frame_len)
         self.stats.busy_ps += slot_ps
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant(now, "packet", "tx", {"mac": self.name, "bytes": frame_len})
         if self._deliver is not None:
             self.sim.call_after(serialize_ps + self._delivery_delay_ps, self._deliver, packet)
         self.sim.call_after(slot_ps, self._start_next)
@@ -126,5 +136,10 @@ class RxMac:
 
     def receive(self, packet: Packet) -> None:
         self.stats.note(self.sim.now, packet.frame_length)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant(
+                self.sim.now, "packet", "rx", {"mac": self.name, "bytes": packet.frame_length}
+            )
         for sink in self._sinks:
             sink(packet)

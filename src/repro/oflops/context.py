@@ -42,10 +42,26 @@ class OflopsContext:
             monitors["egress2"] = self.testbed.tester.monitor(2)
         self.data = DataChannelHandle(self.sim, self.testbed.generator, monitors)
         self.snmp = SnmpChannelHandle(self.sim, self.testbed.snmp)
+        #: Framework-level telemetry: control-channel visibility plus
+        #: per-module run stats (see :class:`~repro.oflops.module.ModuleRunner`).
+        #: :meth:`snapshot` merges this with the tester card's registry so
+        #: one read covers all three measurement channels.
+        from ..telemetry import MetricsRegistry
+
+        self.metrics = MetricsRegistry("oflops")
+        self.metrics.gauge("control.received", lambda: len(self.control.received))
+        self.metrics.gauge("control.sent", lambda: len(self.control.send_times))
+        self.metrics.gauge("control.replies", lambda: len(self.control.reply_times))
         #: OF port numbers (1-based) of the wired paths.
         self.ingress_of_port = 1
         self.egress_of_port = 2
         self.egress2_of_port = 3 if wire_cross_ports else None
+
+    def snapshot(self) -> dict:
+        """Tester-card and framework telemetry in one sorted read."""
+        combined = dict(self.testbed.tester.snapshot())
+        combined.update(self.metrics.snapshot())
+        return dict(sorted(combined.items()))
 
     @property
     def switch(self):

@@ -51,8 +51,13 @@ class ModuleRunner:
 
     def run(self, module: MeasurementModule) -> Dict[str, Any]:
         ctx = self.ctx
+        tracer = ctx.sim.tracer
+        if tracer is not None:
+            tracer.instant(ctx.sim.now, "oflops", "setup", {"module": module.name})
         module.setup(ctx)
         started_at = ctx.sim.now
+        if tracer is not None:
+            tracer.instant(started_at, "oflops", "start", {"module": module.name})
         module.start(ctx)
         deadline = started_at + module.max_duration_ps
         while not module.is_finished(ctx):
@@ -65,4 +70,15 @@ class ModuleRunner:
         results = module.collect(ctx)
         results.setdefault("module", module.name)
         results.setdefault("simulated_ps", ctx.sim.now - started_at)
+        if tracer is not None:
+            tracer.instant(
+                ctx.sim.now, "oflops", "finish",
+                {"module": module.name, "simulated_ps": results["simulated_ps"]},
+            )
+        metrics = getattr(ctx, "metrics", None)
+        if metrics is not None:
+            metrics.counter("module.runs").inc()
+            metrics.histogram("module.duration_ps", unit="ps").record(
+                results["simulated_ps"]
+            )
         return results

@@ -304,6 +304,24 @@ class TrafficMonitor:
     def observed_bps(self) -> float:
         return self._pipeline.stats.observed_bps()
 
+    # -- telemetry ------------------------------------------------------------
+
+    def enable_latency(self, offset: Optional[int] = None) -> "TrafficMonitor":
+        """Arm the in-band latency histogram (TX stamp at ``offset``)."""
+        from .generator.tx_timestamp import DEFAULT_OFFSET
+
+        self._pipeline.enable_latency(DEFAULT_OFFSET if offset is None else offset)
+        return self
+
+    @property
+    def latency_histogram(self):
+        """The pipeline's in-band latency histogram (ps samples)."""
+        return self._pipeline.latency
+
+    def latency_summary(self):
+        """Percentile summary of the in-band latency histogram."""
+        return self._pipeline.latency.summary()
+
 
 class OSNT:
     """Top-level facade: one tester card plus its software handles.
@@ -331,6 +349,22 @@ class OSNT:
 
     def port(self, port_index: int):
         return self.device.port(port_index)
+
+    # -- telemetry ------------------------------------------------------------
+
+    @property
+    def metrics(self):
+        """The card-wide :class:`~repro.telemetry.MetricsRegistry`."""
+        return self.device.metrics
+
+    def start_telemetry(self, **kwargs) -> "OSNT":
+        """Arm latency histograms and rate samplers (see device docs)."""
+        self.device.start_telemetry(**kwargs)
+        return self
+
+    def snapshot(self) -> dict:
+        """One coherent read of the whole card's telemetry."""
+        return self.device.snapshot()
 
     @property
     def gps_locked(self) -> bool:

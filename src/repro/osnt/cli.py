@@ -7,6 +7,10 @@ capture the far end of a loopback cable to a PCAP file.
 ``osnt-mon`` — run a PCAP file through the monitor pipeline offline:
 wildcard filters, cutting, thinning; writes the reduced capture and
 prints the stats the hardware counters would show.
+
+``osnt-telemetry`` — run a timestamped loopback workload with the full
+telemetry stack armed and emit the card snapshot as JSON (optionally
+CSV and a Chrome ``trace_event`` file).
 """
 
 from __future__ import annotations
@@ -195,6 +199,93 @@ def mon_main(argv: Optional[List[str]] = None) -> int:
                     )
                 )
         print(f"wrote {len(kept)} packets to {args.output}")
+    return 0
+
+
+def telemetry_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="osnt-telemetry",
+        description=(
+            "run a timestamped loopback workload with telemetry armed and "
+            "dump the card snapshot (JSON to stdout by default)"
+        ),
+    )
+    parser.add_argument("--frame-size", type=int, default=256, help="wire bytes incl. FCS")
+    parser.add_argument("--rate", default="5Gbps", help='target rate, e.g. "5Gbps"')
+    parser.add_argument("--duration-ms", type=float, default=1.0, help="simulated run length")
+    parser.add_argument("--replay", metavar="PCAP", help="replay a capture instead")
+    parser.add_argument("--json", metavar="FILE", help="write the snapshot JSON here")
+    parser.add_argument("--csv", metavar="FILE", help="also write a flat metric,value CSV")
+    parser.add_argument(
+        "--trace", metavar="FILE", help="record and write a Chrome trace_event file"
+    )
+    parser.add_argument(
+        "--trace-capacity", type=int, default=1 << 16, help="trace ring-buffer slots"
+    )
+    parser.add_argument(
+        "--histograms", action="store_true",
+        help="include full bucket dumps in the JSON, not just summaries",
+    )
+    parser.add_argument(
+        "--status", action="store_true", help="print the dashboard panel to stderr"
+    )
+    args = parser.parse_args(argv)
+
+    from ..telemetry import (
+        Tracer,
+        registry_histograms_to_dict,
+        snapshot_to_json,
+        write_chrome_trace,
+        write_snapshot_csv,
+    )
+
+    sim = Simulator()
+    tracer = None
+    if args.trace:
+        tracer = Tracer(capacity=args.trace_capacity)
+        sim.set_tracer(tracer)
+    tester = OSNT(sim)
+    connect(tester.port(0), tester.port(1))
+    tester.start_telemetry()
+    monitor = tester.monitor(1)
+    monitor.start_capture()
+    generator = tester.generator(0)
+    if args.replay:
+        generator.load_pcap(args.replay)
+    else:
+        generator.load_template(build_udp(frame_size=args.frame_size))
+        generator.set_rate(parse_rate(args.rate))
+    generator.embed_timestamps()
+    generator.for_duration(ms(args.duration_ms))
+    generator.start()
+    sim.run()  # drain the workload
+    sim.run(until=sim.now + ms(2))  # let the daemon rate ticks land
+    tester.device.stop_telemetry()
+
+    snapshot = tester.snapshot()
+    payload = dict(snapshot)
+    if args.histograms:
+        payload["histograms"] = registry_histograms_to_dict(tester.metrics)
+    document = snapshot_to_json(payload)
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(document + "\n")
+    else:
+        print(document)
+    if args.csv:
+        write_snapshot_csv(args.csv, snapshot)
+        print(f"wrote metrics CSV to {args.csv}", file=sys.stderr)
+    if tracer is not None:
+        written = write_chrome_trace(args.trace, tracer)
+        print(
+            f"wrote {written} trace events to {args.trace} "
+            f"({tracer.evicted} evicted)",
+            file=sys.stderr,
+        )
+    if args.status:
+        from .dashboard import render_status
+
+        print(render_status(tester), file=sys.stderr)
     return 0
 
 

@@ -11,8 +11,13 @@ from __future__ import annotations
 from typing import List
 
 from ..analysis.report import format_table
-from ..units import format_rate
+from ..units import format_rate, to_us
 from .api import OSNT
+
+
+def _format_percentile(value) -> str:
+    """A histogram percentile (ps) as microseconds, '-' when absent."""
+    return "-" if value is None else f"{to_us(value):.2f}"
 
 
 def render_status(tester: OSNT) -> str:
@@ -42,6 +47,7 @@ def render_status(tester: OSNT) -> str:
     for index, port in enumerate(device.ports):
         generator = device.generators[index]
         monitor = device.monitors[index]
+        latency = monitor.latency.summary()
         rows.append(
             [
                 f"p{index}",
@@ -52,12 +58,17 @@ def render_status(tester: OSNT) -> str:
                 format_rate(monitor.stats.observed_bps()),
                 monitor.host.received,
                 monitor.dma_drops_at_port,
+                _format_percentile(latency.p50),
+                _format_percentile(latency.p99),
                 "on" if monitor.enabled else "off",
             ]
         )
     lines.append(
         format_table(
-            ["port", "link", "tx pkts", "tx rate", "rx pkts", "rx rate", "captured", "drops", "capture"],
+            [
+                "port", "link", "tx pkts", "tx rate", "rx pkts", "rx rate",
+                "captured", "drops", "p50 µs", "p99 µs", "capture",
+            ],
             rows,
         )
     )

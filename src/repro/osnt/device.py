@@ -33,9 +33,12 @@ from ..hw.registers import AxiLiteBus, RegisterFile
 from ..hw.timestamp import TimestampUnit
 from ..net.packet import Packet
 from ..sim import RandomStreams, Simulator
-from ..units import GBPS, TEN_GBPS
+from ..telemetry import MetricsRegistry
+from ..units import GBPS, TEN_GBPS, ms
 from .generator.engine import PortGenerator
+from .generator.tx_timestamp import DEFAULT_OFFSET
 from .monitor.capture import CapturePipeline
+from .monitor.rates import RateMonitor
 
 OSNT_DEVICE_ID = 0x05A7_0001
 OSNT_VERSION = 0x0001_0000  # 1.0
@@ -110,6 +113,70 @@ class OSNTDevice:
             )
         self.bus = AxiLiteBus()
         self._build_register_map()
+        self.metrics = MetricsRegistry(name)
+        self.rate_monitors: List[RateMonitor] = []
+        self._register_metrics()
+
+    # -- telemetry -------------------------------------------------------------
+
+    def _register_metrics(self) -> None:
+        """Publish every block's counters into the card-wide registry.
+
+        Pull gauges only: the hardware stats objects stay the single
+        source of truth and nothing here touches a datapath hot loop.
+        """
+        registry = self.metrics
+        registry.gauge("time_ps", lambda: self.sim.now)
+        registry.gauge(
+            "gps.error_ps",
+            lambda: self.gps.last_error_ps if self.gps.last_error_ps is not None else 0,
+        )
+        registry.gauge("gps.enabled", lambda: int(self.gps.enabled))
+        self.dma.register_metrics(registry, "dma")
+        for index, port in enumerate(self.ports):
+            prefix = f"p{index}"
+            generator = self.generators[index]
+            generator.register_metrics(registry, f"{prefix}.gen")
+            port.tx.stats.register_metrics(registry, f"{prefix}.txmac")
+            port.rx.stats.register_metrics(registry, f"{prefix}.rxmac")
+            self.monitors[index].register_metrics(registry, f"{prefix}.mon")
+
+    def start_telemetry(
+        self,
+        rate_interval_ps: int = ms(1),
+        latency_offset: int = DEFAULT_OFFSET,
+    ) -> None:
+        """Switch on the active telemetry paths.
+
+        Arms every monitor's in-band latency histogram (expecting TX
+        stamps at ``latency_offset``) and starts one per-port RX rate
+        sampler, registered as gauges so rates appear in
+        :meth:`snapshot` output. Idempotent.
+        """
+        for monitor in self.monitors:
+            monitor.enable_latency(latency_offset)
+        if not self.rate_monitors:
+            for index, port in enumerate(self.ports):
+                stats = port.rx.stats
+                sampler = RateMonitor(
+                    self.sim,
+                    read_counters=lambda stats=stats: (stats.packets, stats.bytes),
+                    interval_ps=rate_interval_ps,
+                )
+                sampler.register_metrics(self.metrics, f"p{index}.rx_rate")
+                self.rate_monitors.append(sampler)
+        for sampler in self.rate_monitors:
+            sampler.start()
+
+    def stop_telemetry(self) -> None:
+        for sampler in self.rate_monitors:
+            sampler.stop()
+        for monitor in self.monitors:
+            monitor.disable_latency()
+
+    def snapshot(self) -> dict:
+        """One coherent read of the whole card's telemetry."""
+        return self.metrics.snapshot()
 
     # -- convenience accessors -----------------------------------------------
 

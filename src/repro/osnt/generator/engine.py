@@ -18,6 +18,7 @@ from ...errors import GeneratorError
 from ...hw.port import EthernetPort
 from ...hw.timestamp import TimestampUnit
 from ...sim import Signal, Simulator, spawn
+from ...telemetry import LogLinearHistogram
 from .schedule import LineRate, Schedule
 from .source import PacketSource
 from .tx_timestamp import DEFAULT_OFFSET, TxTimestamper
@@ -72,6 +73,18 @@ class PortGenerator:
         self.done = Signal(f"{name}.done")
         self.running = False
         self._process = None
+        #: In-band TX frame-size histogram: fed per sent frame, survives
+        #: across runs (cleared explicitly, like a hardware histogram).
+        self.tx_sizes = LogLinearHistogram(unit="bytes")
+
+    def register_metrics(self, registry, prefix: str) -> None:
+        """Publish this engine's counters and TX size histogram."""
+        registry.gauge(f"{prefix}.sent", lambda: self.stats.sent)
+        registry.gauge(f"{prefix}.sent_bytes", lambda: self.stats.sent_bytes)
+        registry.gauge(f"{prefix}.tx_fifo_drops", lambda: self.stats.tx_fifo_drops)
+        registry.gauge(f"{prefix}.running", lambda: int(self.running))
+        registry.gauge(f"{prefix}.achieved_bps", lambda: self.stats.achieved_bps())
+        registry.register_histogram(f"{prefix}.tx_size_bytes", self.tx_sizes)
 
     # -- configuration ---------------------------------------------------
 
@@ -134,6 +147,7 @@ class PortGenerator:
             if self.port.send(packet):
                 stats.sent += 1
                 stats.sent_bytes += packet.frame_length
+                self.tx_sizes.record(packet.frame_length)
             else:
                 stats.tx_fifo_drops += 1
             index += 1

@@ -17,12 +17,18 @@ from typing import Callable, List, Optional
 
 from ...hw.dma import DmaEngine
 from ...hw.port import EthernetPort
-from ...hw.timestamp import TimestampUnit
+from ...hw.timestamp import TimestampUnit, raw_to_ps
 from ...net.packet import Packet
 from ...net.pcap import PcapRecord, PcapWriter
 from ...sim import Simulator
+from ...telemetry import LogLinearHistogram
 from .filters import FilterBank
 from .reducers import HashUnit, PacketCutter, Thinner
+
+#: Latency samples beyond this are treated as garbage (no stamp embedded
+#: where the extractor looked), mirroring a hardware range check.
+LATENCY_SANITY_PS = 10**13  # 10 seconds
+_STAMP_BYTES = 8
 
 
 class MonitorStats:
@@ -115,6 +121,11 @@ class CapturePipeline:
         self.host = HostCaptureBuffer()
         self.enabled = False
         self.dma_drops_at_port = 0
+        #: In-band latency histogram (P4TG-style): fed per packet from
+        #: the embedded TX stamp once :meth:`enable_latency` arms it.
+        self.latency = LogLinearHistogram(unit="ps")
+        self.latency_skipped = 0
+        self._latency_offset: Optional[int] = None
         port.add_rx_sink(self._on_frame)
         # A multi-port card shares one DMA engine; the device then owns
         # the host-side demux. Standalone pipelines claim it themselves.
@@ -127,6 +138,33 @@ class CapturePipeline:
     def disable(self) -> None:
         self.enabled = False
 
+    def enable_latency(self, offset: int = 42) -> None:
+        """Arm in-band latency aggregation.
+
+        ``offset`` is the byte position of the generator's embedded
+        64-bit TX stamp (see :mod:`repro.osnt.generator.tx_timestamp`).
+        Like the stats module, the histogram runs even when host capture
+        is disabled — aggregation happens before the filter bank.
+        """
+        self._latency_offset = offset
+
+    def disable_latency(self) -> None:
+        self._latency_offset = None
+
+    def register_metrics(self, registry, prefix: str) -> None:
+        """Publish this pipeline's counters, stages and latency histogram."""
+        stats = self.stats
+        registry.gauge(f"{prefix}.rx_packets", lambda: stats.rx_packets)
+        registry.gauge(f"{prefix}.rx_bytes", lambda: stats.rx_bytes)
+        registry.gauge(f"{prefix}.captured", lambda: self.host.received)
+        registry.gauge(f"{prefix}.dma_drops", lambda: self.dma_drops_at_port)
+        registry.gauge(f"{prefix}.filter_passed", lambda: self.filter_bank.passed)
+        registry.gauge(f"{prefix}.filter_dropped", lambda: self.filter_bank.filtered)
+        registry.gauge(f"{prefix}.thinned", lambda: self.thinner.thinned)
+        registry.gauge(f"{prefix}.cut", lambda: self.cutter.cut)
+        registry.gauge(f"{prefix}.latency_skipped", lambda: self.latency_skipped)
+        registry.register_histogram(f"{prefix}.latency_ps", self.latency)
+
     def _on_frame(self, packet: Packet) -> None:
         # Timestamp and count unconditionally: the stats module and the
         # timestamp run even when host capture is disabled.
@@ -134,6 +172,20 @@ class CapturePipeline:
         if self.port_index is not None:
             packet.ingress_port = self.port_index
         self.stats.note(self.sim.now, packet.frame_length)
+        offset = self._latency_offset
+        if offset is not None:
+            # In-band aggregation: extract the embedded TX stamp and bin
+            # the delta without ever shipping the sample to the host.
+            data = packet.data
+            if offset + _STAMP_BYTES <= len(data):
+                tx_ps = raw_to_ps(int.from_bytes(data[offset : offset + _STAMP_BYTES], "big"))
+                delta = packet.rx_timestamp - tx_ps
+                if 0 <= delta <= LATENCY_SANITY_PS:
+                    self.latency.record(delta)
+                else:
+                    self.latency_skipped += 1
+            else:
+                self.latency_skipped += 1
         if not self.enabled:
             return
         if not self.filter_bank.decide(packet.data):
@@ -143,6 +195,12 @@ class CapturePipeline:
         if not self.thinner.decide():
             return
         self.cutter.apply(packet)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant(
+                self.sim.now, "packet", "captured",
+                {"monitor": self.name, "bytes": packet.frame_length},
+            )
         if not self.dma.enqueue(packet):
             self.dma_drops_at_port += 1
 

@@ -10,7 +10,7 @@ daemon timer and keeps a bounded history of per-interval rates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from ...errors import ConfigError
 from ...sim import Simulator
@@ -83,6 +83,34 @@ class RateMonitor:
         if len(self.samples) > self.history:
             del self.samples[: len(self.samples) - self.history]
         self.sim.call_after(self.interval_ps, self._tick, daemon=True)
+
+    # -- telemetry ------------------------------------------------------------
+
+    def latest(self) -> Optional[RateSample]:
+        """The most recent completed sampling interval, if any."""
+        return self.samples[-1] if self.samples else None
+
+    def register_metrics(self, registry, prefix: str) -> None:
+        """Publish this sampler's rates as pull gauges under ``prefix``.
+
+        The registry reads the *existing* sample history — there is no
+        second sampling path; a ``snapshot()`` sees exactly what the
+        daemon timer measured.
+        """
+
+        def of_latest(field: str, default: float = 0.0):
+            def read():
+                sample = self.latest()
+                return getattr(sample, field) if sample is not None else default
+
+            return read
+
+        registry.gauge(f"{prefix}.pps", of_latest("pps"))
+        registry.gauge(f"{prefix}.bps", of_latest("bps"))
+        registry.gauge(f"{prefix}.peak_bps", self.peak_bps)
+        registry.gauge(f"{prefix}.mean_bps", self.mean_bps)
+        registry.gauge(f"{prefix}.intervals", lambda: len(self.samples))
+        registry.gauge(f"{prefix}.busy_intervals", self.busy_intervals)
 
     # -- convenience accessors -------------------------------------------------
 

@@ -29,6 +29,15 @@ class Simulator:
         self._running = False
         self._stop_requested = False
         self.events_processed: int = 0
+        self._tracer: Optional[Any] = None
+        #: Cached kernel trace hooks (see :meth:`set_tracer`). With a
+        #: :class:`repro.telemetry.Tracer` these are raw C-level
+        #: ``deque.append`` methods, so an enabled trace costs one
+        #: append per fired event and one small tuple per scheduled
+        #: event — cheap enough to stay on under line-rate workloads.
+        #: When None (the default) each hot path pays one None check.
+        self._trace_sched: Optional[Callable[[Any], None]] = None
+        self._trace_fire: Optional[Callable[[Any], None]] = None
 
     # -- clock ---------------------------------------------------------
 
@@ -36,6 +45,48 @@ class Simulator:
     def now(self) -> int:
         """Current simulated time in picoseconds."""
         return self._now
+
+    # -- tracing ---------------------------------------------------------
+
+    @property
+    def tracer(self) -> Optional[Any]:
+        """The attached telemetry tracer, if any (see :meth:`set_tracer`)."""
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer: Optional[Any]) -> None:
+        self.set_tracer(tracer)
+
+    def set_tracer(self, tracer: Optional[Any]) -> None:
+        """Attach (or with None, detach) an event tracer.
+
+        Normally a :class:`repro.telemetry.Tracer`, whose
+        ``attach_kernel`` supplies the two ring appenders; any object
+        with ``.instant(time_ps, category, name, detail)`` also works
+        (hooks are synthesized from it). The kernel reports every event
+        scheduled and fired; instrumented hardware models discover the
+        tracer here and report packet milestones.
+        """
+        self._tracer = tracer
+        if tracer is None:
+            self._trace_sched = None
+            self._trace_fire = None
+            return
+        attach = getattr(tracer, "attach_kernel", None)
+        if attach is not None:
+            self._trace_sched, self._trace_fire = attach(self)
+        else:
+            self._trace_sched = lambda pair: tracer.instant(
+                pair[0], "kernel", "schedule", pair[1]
+            )
+            self._trace_fire = lambda event: tracer.instant(
+                event.time, "kernel", "fire", event
+            )
+
+    @property
+    def events_scheduled(self) -> int:
+        """Total events ever created on this simulator."""
+        return self._seq
 
     # -- scheduling ------------------------------------------------------
 
@@ -60,6 +111,9 @@ class Simulator:
         self._seq += 1
         event = Event(time_ps, priority, self._seq, callback, args, daemon=daemon)
         self._queue.push(event)
+        trace = self._trace_sched
+        if trace is not None:
+            trace((self._now, event))
         return event
 
     def call_after(
@@ -94,6 +148,9 @@ class Simulator:
         self._now = event.time
         event.fired = True
         self.events_processed += 1
+        trace = self._trace_fire
+        if trace is not None:
+            trace(event)
         event.callback(*event.args)
         return True
 

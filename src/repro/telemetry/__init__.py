@@ -1,0 +1,56 @@
+"""Telemetry & tracing: in-band histograms, event traces, metrics export.
+
+The observability layer shared by the tester's datapaths, dashboard,
+CLI, benchmarks and OFLOPS modules:
+
+* :class:`LogLinearHistogram` — hardware-style latency/size histograms
+  fed in-band by the capture and TX paths (O(1) record, mergeable,
+  bounded-error percentiles), after P4TG's data-plane RTT histograms;
+* :class:`Tracer` / :class:`TraceBuffer` — bounded ring of simulation
+  trace records (kernel event scheduling/firing, per-packet datapath
+  milestones), exportable as Chrome ``trace_event`` JSON;
+* :class:`MetricsRegistry` — named counters/gauges/histograms with
+  deterministic ``snapshot()`` semantics; one call reads the whole card;
+* :mod:`~repro.telemetry.export` — JSON/CSV snapshot serialization and
+  Chrome trace files.
+
+Attach a tracer with ``sim.set_tracer(Tracer())``; read a card with
+``device.snapshot()`` after ``device.start_telemetry()``.
+"""
+
+from .export import (
+    chrome_trace,
+    chrome_trace_json,
+    flatten_snapshot,
+    registry_histograms_to_dict,
+    snapshot_to_csv,
+    snapshot_to_json,
+    write_chrome_trace,
+    write_snapshot_csv,
+    write_snapshot_json,
+)
+from .histogram import DEFAULT_SUBBUCKET_BITS, HistogramSummary, LogLinearHistogram
+from .metrics import Counter, Gauge, MetricsRegistry
+from .trace import DEFAULT_CAPACITY, TraceBuffer, Tracer, resolve_tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_CAPACITY",
+    "DEFAULT_SUBBUCKET_BITS",
+    "Gauge",
+    "HistogramSummary",
+    "LogLinearHistogram",
+    "MetricsRegistry",
+    "TraceBuffer",
+    "Tracer",
+    "chrome_trace",
+    "chrome_trace_json",
+    "flatten_snapshot",
+    "registry_histograms_to_dict",
+    "resolve_tracer",
+    "snapshot_to_csv",
+    "snapshot_to_json",
+    "write_chrome_trace",
+    "write_snapshot_csv",
+    "write_snapshot_json",
+]

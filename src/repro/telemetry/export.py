@@ -1,0 +1,105 @@
+"""Serialization for telemetry: snapshot JSON/CSV and Chrome traces.
+
+Everything here turns in-memory telemetry objects into the formats the
+OSNT tooling ships: ``snapshot`` dicts (from
+:meth:`~.metrics.MetricsRegistry.snapshot`) to JSON documents or flat
+``name,value`` CSV, and :class:`~.trace.Tracer` buffers to Chrome
+``trace_event`` JSON that loads directly in ``chrome://tracing`` /
+Perfetto.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from .metrics import MetricsRegistry
+from .trace import Tracer
+
+PathLike = Union[str, Path]
+
+
+# -- metrics snapshots -------------------------------------------------------
+
+
+def snapshot_to_json(snapshot: Dict[str, Any], indent: int = 2) -> str:
+    """A snapshot dict as a JSON document (keys already sorted)."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
+
+
+def flatten_snapshot(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """Expand histogram sub-dicts into dotted scalar entries.
+
+    ``{"lat": {"p50": 3}}`` becomes ``{"lat.p50": 3}`` so the result is
+    a flat name -> scalar mapping suitable for CSV or time-series sinks.
+    """
+    flat: Dict[str, Any] = {}
+    for name, value in snapshot.items():
+        if isinstance(value, dict):
+            for key, sub in value.items():
+                flat[f"{name}.{key}"] = sub
+        else:
+            flat[name] = value
+    return flat
+
+
+def snapshot_to_csv(snapshot: Dict[str, Any]) -> str:
+    """A snapshot as ``metric,value`` CSV rows (header included)."""
+    out = io.StringIO()
+    out.write("metric,value\r\n")
+    for name, value in sorted(flatten_snapshot(snapshot).items()):
+        rendered = "" if value is None else value
+        out.write(f"{name},{rendered}\r\n")
+    return out.getvalue()
+
+
+def write_snapshot_json(path: PathLike, snapshot: Dict[str, Any]) -> None:
+    """Write a snapshot as a JSON document (trailing newline included)."""
+    Path(path).write_text(snapshot_to_json(snapshot) + "\n")
+
+
+def write_snapshot_csv(path: PathLike, snapshot: Dict[str, Any]) -> None:
+    """Write a snapshot as flat ``metric,value`` CSV."""
+    Path(path).write_text(snapshot_to_csv(snapshot))
+
+
+def registry_histograms_to_dict(registry: MetricsRegistry) -> Dict[str, Any]:
+    """Full-fidelity bucket dumps of every registered histogram."""
+    return {
+        name: histogram.to_dict() for name, histogram in registry.histograms()
+    }
+
+
+# -- Chrome traces -----------------------------------------------------------
+
+
+def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
+    """The tracer's buffer as a Chrome trace document (object form).
+
+    The object form (``{"traceEvents": [...]}``) is what the trace
+    viewers accept alongside the bare-array form, and it leaves room
+    for metadata such as the eviction count.
+    """
+    return {
+        "traceEvents": tracer.chrome_events(),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "recorded": tracer.recorded,
+            "evicted": tracer.evicted,
+            "capacity": tracer.capacity,
+        },
+    }
+
+
+def chrome_trace_json(tracer: Tracer, indent: int = None) -> str:
+    """The Chrome trace document serialized to a JSON string."""
+    return json.dumps(chrome_trace(tracer), indent=indent)
+
+
+def write_chrome_trace(path: PathLike, tracer: Tracer) -> int:
+    """Write the trace JSON; returns the number of events written."""
+    document = chrome_trace(tracer)
+    Path(path).write_text(json.dumps(document))
+    return len(document["traceEvents"])

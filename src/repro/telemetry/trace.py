@@ -1,0 +1,237 @@
+"""Event tracing: bounded ring buffers of simulation trace records.
+
+The datapath models emit *instant* records — ``(time_ps, category,
+name, detail)`` tuples — into a :class:`TraceBuffer` via
+:meth:`Tracer.instant`. The sim kernel is hotter (two records per
+event), so it bypasses Python entirely: :meth:`Tracer.attach_kernel`
+hands it the raw C-level ``deque.append`` of two dedicated rings — one
+holding ``(scheduled_at_ps, Event)`` pairs, one holding fired ``Event``
+objects — and totals come from the kernel's own counters rather than
+per-record increments. When no tracer is attached the only cost
+anywhere is a ``None`` check.
+
+The buffer renders as Chrome ``trace_event`` JSON (load it at
+``chrome://tracing`` or https://ui.perfetto.dev) with simulated
+picoseconds mapped onto the trace timebase's microseconds, so one
+simulated µs reads as one trace µs.
+
+Categories used by the built-in instrumentation:
+
+* ``kernel`` — event ``schedule`` / ``fire`` (detail: the Event),
+* ``packet`` — ``tx``, ``rx``, ``captured``, ``dma``, ``drop``,
+  ``host`` (detail: a small dict),
+* ``oflops`` — measurement-module lifecycle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ConfigError
+
+DEFAULT_CAPACITY = 1 << 16
+
+#: One trace record: (time_ps, category, name, detail). ``detail`` may
+#: be None, a dict of Chrome ``args``, or a kernel Event (resolved at
+#: export time so the hot path never formats strings).
+TraceRecord = Tuple[int, str, str, Any]
+
+
+class TraceBuffer:
+    """Bounded ring of :data:`TraceRecord`; oldest entries are evicted.
+
+    ``_events`` and ``recorded`` are written directly by
+    :meth:`Tracer.instant` (hot-path inlining); go through
+    :meth:`append` everywhere else.
+    """
+
+    __slots__ = ("capacity", "recorded", "_events")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ConfigError("trace buffer needs at least one slot")
+        self.capacity = capacity
+        self.recorded = 0  # total ever appended, evicted or not
+        self._events: deque = deque(maxlen=capacity)
+
+    def append(self, record: TraceRecord) -> None:
+        self.recorded += 1
+        self._events.append(record)
+
+    @property
+    def evicted(self) -> int:
+        """Records pushed out of the ring by later arrivals."""
+        return self.recorded - len(self._events)
+
+    def records(self) -> List[TraceRecord]:
+        """The retained records, oldest first."""
+        return list(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.recorded = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class Tracer:
+    """The handle components talk to; owns the trace rings.
+
+    Attach with :meth:`repro.sim.Simulator.set_tracer`; the kernel then
+    reports event scheduling/firing into the dedicated kernel rings,
+    and every instrumented model (MACs, DMA, capture pipelines, OFLOPS
+    runner) records milestones through :meth:`instant`.
+    """
+
+    __slots__ = (
+        "buffer",
+        "_sched_ring",
+        "_fire_ring",
+        "_sim",
+        "_base_scheduled",
+        "_base_fired",
+    )
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self.buffer = TraceBuffer(capacity)
+        self._sched_ring: deque = deque(maxlen=capacity)
+        self._fire_ring: deque = deque(maxlen=capacity)
+        self._sim = None
+        self._base_scheduled = 0
+        self._base_fired = 0
+
+    def instant(self, time_ps: int, category: str, name: str, detail: Any = None) -> None:
+        """Record one instant event; the per-call cost the budget guards.
+
+        Deliberately inlines :meth:`TraceBuffer.append` — this runs
+        once per datapath milestone, so one saved method call is a
+        measurable share of the overhead budget.
+        """
+        buffer = self.buffer
+        buffer.recorded += 1
+        buffer._events.append((time_ps, category, name, detail))
+
+    def attach_kernel(self, sim: Any) -> Tuple[Any, Any]:
+        """Give the kernel its two hot-path appenders.
+
+        Called by :meth:`repro.sim.Simulator.set_tracer`. Returns the
+        raw ``deque.append`` bound methods for the schedule ring (fed
+        ``(now_ps, Event)`` pairs) and the fire ring (fed ``Event``
+        objects) — no Python frame is entered per record. Totals are
+        reconstructed from the kernel's event counters relative to the
+        baselines captured here.
+        """
+        self._sim = sim
+        self._base_scheduled = sim.events_scheduled
+        self._base_fired = sim.events_processed
+        return self._sched_ring.append, self._fire_ring.append
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def kernel_scheduled_recorded(self) -> int:
+        """Schedule records ever made (retained or evicted)."""
+        if self._sim is not None:
+            return self._sim.events_scheduled - self._base_scheduled
+        return len(self._sched_ring)
+
+    @property
+    def kernel_fired_recorded(self) -> int:
+        """Fire records ever made (retained or evicted)."""
+        if self._sim is not None:
+            return self._sim.events_processed - self._base_fired
+        return len(self._fire_ring)
+
+    @property
+    def recorded(self) -> int:
+        """Total records ever made across all rings."""
+        return (
+            self.buffer.recorded
+            + self.kernel_scheduled_recorded
+            + self.kernel_fired_recorded
+        )
+
+    @property
+    def evicted(self) -> int:
+        """Records pushed out of any ring by later arrivals."""
+        return self.recorded - len(self)
+
+    @property
+    def capacity(self) -> int:
+        return self.buffer.capacity
+
+    def records(self) -> List[TraceRecord]:
+        """All retained records as uniform tuples, ordered by time.
+
+        Kernel ring entries are expanded into the common
+        ``(time_ps, category, name, detail)`` shape here, at export
+        time, so the hot path never builds them.
+        """
+        merged: List[TraceRecord] = list(self.buffer.records())
+        merged.extend(
+            (now_ps, "kernel", "schedule", event)
+            for now_ps, event in self._sched_ring
+        )
+        merged.extend(
+            (event.time, "kernel", "fire", event) for event in self._fire_ring
+        )
+        merged.sort(key=lambda record: record[0])
+        return merged
+
+    def clear(self) -> None:
+        self.buffer.clear()
+        self._sched_ring.clear()
+        self._fire_ring.clear()
+        if self._sim is not None:
+            self._base_scheduled = self._sim.events_scheduled
+            self._base_fired = self._sim.events_processed
+
+    # -- export ------------------------------------------------------------
+
+    def chrome_events(self) -> List[Dict[str, Any]]:
+        """All retained records as a Chrome ``trace_event`` array."""
+        events = []
+        for time_ps, category, name, detail in self.records():
+            events.append(
+                {
+                    "name": name,
+                    "cat": category,
+                    "ph": "i",
+                    "s": "g",
+                    # 1 simulated ps -> 1e-6 trace µs: timelines read in
+                    # real simulated time.
+                    "ts": time_ps / 1e6,
+                    "pid": 0,
+                    "tid": 0,
+                    "args": _detail_args(detail),
+                }
+            )
+        return events
+
+    def __len__(self) -> int:
+        return len(self.buffer) + len(self._sched_ring) + len(self._fire_ring)
+
+
+def _detail_args(detail: Any) -> Dict[str, Any]:
+    """Normalise a record's detail into JSON-safe Chrome ``args``."""
+    if detail is None:
+        return {}
+    if isinstance(detail, dict):
+        return detail
+    callback = getattr(detail, "callback", None)
+    if callback is not None:  # a kernel Event
+        return {
+            "seq": detail.seq,
+            "at_ps": detail.time,
+            "callback": getattr(
+                callback, "__qualname__", getattr(callback, "__name__", repr(callback))
+            ),
+        }
+    return {"detail": repr(detail)}
+
+
+def resolve_tracer(sim) -> Optional[Tracer]:
+    """The tracer attached to a simulator, if any (for instrumentation)."""
+    return getattr(sim, "tracer", None)

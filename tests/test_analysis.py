@@ -35,14 +35,16 @@ class TestSummaryStats:
         summary = SummaryStats.of([2, 4, 4, 4, 5, 5, 7, 9])
         assert summary.std == pytest.approx(2.0)
 
-    def test_empty_rejected(self):
-        with pytest.raises(ConfigError):
-            SummaryStats.of([])
+    def test_empty_returns_none(self):
+        assert SummaryStats.of([]) is None
+        assert SummaryStats.of(()) is None
 
     def test_single_sample(self):
         summary = SummaryStats.of([42])
         assert summary.p99 == 42
         assert summary.std == 0
+        assert summary.minimum == summary.maximum == summary.p50 == 42
+        assert summary.count == 1
 
     @given(st.lists(st.floats(min_value=-1e9, max_value=1e9), min_size=1, max_size=200))
     def test_bounds_invariant(self, samples):
@@ -63,11 +65,20 @@ class TestPercentile:
         assert percentile(data, 0) == 0
         assert percentile(data, 100) == 100
 
+    def test_empty_returns_none(self):
+        assert percentile([], 50) is None
+        assert percentile([], 0) is None
+
+    def test_single_sample_every_percentile(self):
+        assert percentile([7], 0) == 7
+        assert percentile([7], 50) == 7
+        assert percentile([7], 100) == 7
+
     def test_validation(self):
         with pytest.raises(ConfigError):
-            percentile([], 50)
-        with pytest.raises(ConfigError):
             percentile([1], 101)
+        with pytest.raises(ConfigError):
+            percentile([], -1)  # range check wins even on empty input
 
     @given(
         st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=100),
