@@ -7,12 +7,75 @@ Unlike the single-shot experiment benches, these run multiple rounds so
 pytest-benchmark reports meaningful wall-clock statistics.
 """
 
+import gc
+from collections import deque
+from time import perf_counter
+
+from conftest import emit
+
 from repro.hw import EthernetPort, connect
 from repro.net import build_udp
 from repro.osnt import OSNT
 from repro.sim import Simulator
 from repro.testbed.workloads import udp_template
 from repro.units import ms
+
+#: Near-future deltas (ps) shaped like the MAC/DMA/generator common
+#: case: wire times and inter-frame gaps from tens of ns to ~1 µs.
+MIX_DELTAS = (100, 800, 1024, 4096, 51_200, 123_456, 409_600, 819_200)
+
+#: The wheel must beat the heap by at least this factor on the
+#: schedule-fire-cancel mix (the perf regression budget enforced in CI).
+WHEEL_SPEEDUP_BUDGET = 1.5
+
+
+def _noop():
+    return None
+
+
+def _run_mix(impl, iterations, preload=4000):
+    """Schedule-fire-cancel mix at a realistic queue depth.
+
+    Per iteration (one simulated burst): eight schedules at
+    ``now + small_delta``, four cancellations of older pending events,
+    four fired events — net queue depth stays ~``preload``, the regime
+    every line-rate experiment runs in. Returns achieved events/sec
+    (schedules + cancels + fires).
+    """
+    sim = Simulator(event_queue=impl)
+    pool = deque(sim.call_after(800 * (i + 1), _noop) for i in range(preload))
+    deltas = MIX_DELTAS
+    call_after = sim.call_after
+    append = pool.append
+    popleft = pool.popleft
+    # Collect then pause the GC: leftover garbage from earlier tests
+    # would otherwise trigger collections mid-measurement and swamp the
+    # per-event cost being compared.
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        start = perf_counter()
+        for i in range(iterations):
+            base = deltas[i & 7]
+            append(call_after(base, _noop))
+            append(call_after(base + 160, _noop))
+            append(call_after(base + 320, _noop))
+            append(call_after(base + 480, _noop))
+            append(call_after(base + 640, _noop))
+            append(call_after(base + 800, _noop))
+            append(call_after(base + 960, _noop))
+            append(call_after(base + 1120, _noop))
+            for __ in range(4):
+                victim = popleft()
+                if not victim.fired:
+                    victim.cancel()
+            sim.run(max_events=4)
+        elapsed = perf_counter() - start
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return iterations * 16 / elapsed
 
 
 def test_perf_raw_event_dispatch(benchmark):
@@ -56,6 +119,66 @@ def test_perf_line_rate_mac_pipeline(benchmark):
 
     frames = benchmark(run)
     assert frames > 2000
+
+
+def test_perf_schedule_cancel_fire_mix(benchmark):
+    """The mix every experiment runs: schedule, cancel, fire at depth."""
+    rate = benchmark.pedantic(
+        lambda: _run_mix("wheel", 6_000), rounds=3, iterations=1
+    )
+    emit(f"wheel schedule-cancel-fire mix: {rate:,.0f} events/sec")
+    assert rate > 0
+
+
+def test_perf_schedule_drain(benchmark):
+    """Bulk load then full drain: 30k events scheduled, then fired."""
+
+    def run():
+        sim = Simulator()
+        for i in range(30_000):
+            sim.call_after((i * 7919) % 1_000_000, _noop)
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(run)
+    assert events == 30_000
+
+
+def test_perf_cancel_heavy_drain(benchmark):
+    """Cancellation-heavy load (OpenFlow table churn shape)."""
+
+    def run():
+        sim = Simulator()
+        events = [sim.call_after((i * 613) % 500_000, _noop) for i in range(20_000)]
+        for event in events[::2]:
+            event.cancel()
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(run)
+    assert events == 10_000
+
+
+def test_perf_wheel_vs_heap_budget():
+    """Enforce the regression budget: wheel >= 1.5x heap on the mix.
+
+    Interleaved best-of-3 rounds per implementation damp scheduler
+    noise; the asserted ratio is machine-independent.
+    """
+    heap_best = wheel_best = 0.0
+    for __ in range(3):
+        heap_best = max(heap_best, _run_mix("heap", 5_000))
+        wheel_best = max(wheel_best, _run_mix("wheel", 5_000))
+    ratio = wheel_best / heap_best
+    emit(
+        f"schedule-cancel-fire mix @ depth 4000: heap {heap_best:,.0f} ev/s, "
+        f"wheel {wheel_best:,.0f} ev/s, speedup {ratio:.2f}x "
+        f"(budget >= {WHEEL_SPEEDUP_BUDGET}x)"
+    )
+    assert ratio >= WHEEL_SPEEDUP_BUDGET, (
+        f"timing wheel regressed: only {ratio:.2f}x vs heap baseline "
+        f"(budget {WHEEL_SPEEDUP_BUDGET}x)"
+    )
 
 
 def test_perf_full_tester_capture_path(benchmark):

@@ -16,7 +16,8 @@ class SimulationError(ReproError):
     """The discrete-event kernel was used incorrectly.
 
     Examples: scheduling an event in the past, running a stopped
-    simulator, or cancelling an event twice.
+    simulator, or cancelling an event that already fired (cancelling a
+    pending event twice is an idempotent no-op, not an error).
     """
 
 

@@ -33,6 +33,10 @@ class DmaStats:
         self.delivered = 0
         self.delivered_bytes = 0
         self.dropped = 0
+        #: Transfer bytes (caplen + per-packet overhead) lost to ring-full
+        #: tail drops, so capture loss (E6) is measurable in bytes, not
+        #: just packets, on the same scale as ``delivered_bytes``.
+        self.dropped_bytes = 0
         self.peak_ring_occupancy = 0
 
 
@@ -68,6 +72,7 @@ class DmaEngine:
         registry.gauge(f"{prefix}.delivered", lambda: stats.delivered)
         registry.gauge(f"{prefix}.delivered_bytes", lambda: stats.delivered_bytes)
         registry.gauge(f"{prefix}.dropped", lambda: stats.dropped)
+        registry.gauge(f"{prefix}.dropped_bytes", lambda: stats.dropped_bytes)
         registry.gauge(f"{prefix}.peak_ring_occupancy", lambda: stats.peak_ring_occupancy)
         registry.gauge(f"{prefix}.ring_occupancy", lambda: len(self._ring))
         registry.gauge(f"{prefix}.ring_slots", lambda: self.ring_slots)
@@ -75,12 +80,14 @@ class DmaEngine:
     def enqueue(self, packet: Packet) -> bool:
         """Hand a captured packet to the DMA; False if the ring is full."""
         if len(self._ring) >= self.ring_slots:
+            nbytes = self._transfer_bytes(packet)
             self.stats.dropped += 1
+            self.stats.dropped_bytes += nbytes
             tracer = self.sim.tracer
             if tracer is not None:
                 tracer.instant(
                     self.sim.now, "packet", "drop",
-                    {"dma": self.name, "reason": "ring_full"},
+                    {"dma": self.name, "reason": "ring_full", "bytes": nbytes},
                 )
             return False
         self._ring.append(packet)
@@ -109,13 +116,14 @@ class DmaEngine:
 
     def _complete(self) -> None:
         packet = self._ring.popleft()
+        nbytes = self._transfer_bytes(packet)
         self.stats.delivered += 1
-        self.stats.delivered_bytes += self._transfer_bytes(packet)
+        self.stats.delivered_bytes += nbytes
         tracer = self.sim.tracer
         if tracer is not None:
             tracer.instant(
                 self.sim.now, "packet", "host",
-                {"dma": self.name, "bytes": self._transfer_bytes(packet)},
+                {"dma": self.name, "bytes": nbytes},
             )
         if self.on_host_deliver is not None:
             self.on_host_deliver(packet)

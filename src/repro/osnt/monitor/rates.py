@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 from ...errors import ConfigError
-from ...sim import Simulator
+from ...sim import Event, Simulator
 from ...units import ms
 
 #: Counter source: returns (packets, bytes) cumulative totals.
@@ -53,18 +53,26 @@ class RateMonitor:
         self.running = False
         self._last_packets = 0
         self._last_bytes = 0
+        #: The one in-flight daemon tick. Tracked so stop() can cancel
+        #: it: otherwise a stop()/start() before the pending tick fires
+        #: would leave two live tick chains and double the sampling rate.
+        self._pending: Optional[Event] = None
 
     def start(self) -> None:
         if self.running:
             return
         self.running = True
         self._last_packets, self._last_bytes = self.read_counters()
-        self.sim.call_after(self.interval_ps, self._tick, daemon=True)
+        self._pending = self.sim.call_after(self.interval_ps, self._tick, daemon=True)
 
     def stop(self) -> None:
         self.running = False
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
 
     def _tick(self) -> None:
+        self._pending = None
         if not self.running:
             return
         packets, nbytes = self.read_counters()
@@ -82,7 +90,7 @@ class RateMonitor:
         )
         if len(self.samples) > self.history:
             del self.samples[: len(self.samples) - self.history]
-        self.sim.call_after(self.interval_ps, self._tick, daemon=True)
+        self._pending = self.sim.call_after(self.interval_ps, self._tick, daemon=True)
 
     # -- telemetry ------------------------------------------------------------
 

@@ -2,25 +2,33 @@
 
 Public surface:
 
-* :class:`Simulator` — clock + event queue.
+* :class:`Simulator` — clock + event queue (timing wheel by default;
+  select with ``Simulator(event_queue=...)`` or ``REPRO_EVENT_QUEUE``).
 * :class:`Event` — handle returned by scheduling calls.
+* :class:`EventQueue` / :class:`TimingWheelQueue` — the two
+  order-equivalent queue implementations.
 * :func:`spawn` / :class:`Process` / :class:`Signal` — generator processes.
 * :class:`RandomStreams` — named, seeded randomness.
 """
 
-from .events import Event, PRIORITY_HIGH, PRIORITY_LOW, PRIORITY_NORMAL
-from .kernel import Simulator
+from .events import Event, EventQueue, PRIORITY_HIGH, PRIORITY_LOW, PRIORITY_NORMAL
+from .kernel import DEFAULT_QUEUE_IMPL, QUEUE_IMPLS, Simulator
 from .process import Process, Signal, spawn
 from .random import RandomStreams
+from .wheel import TimingWheelQueue
 
 __all__ = [
+    "DEFAULT_QUEUE_IMPL",
     "Event",
+    "EventQueue",
     "PRIORITY_HIGH",
     "PRIORITY_LOW",
     "PRIORITY_NORMAL",
     "Process",
+    "QUEUE_IMPLS",
     "RandomStreams",
     "Signal",
     "Simulator",
+    "TimingWheelQueue",
     "spawn",
 ]

@@ -40,6 +40,7 @@ class Event:
         "cancelled",
         "fired",
         "daemon",
+        "_queue",
     )
 
     def __init__(
@@ -59,12 +60,23 @@ class Event:
         self.cancelled = False
         self.fired = False
         self.daemon = daemon
+        self._queue: Optional[Any] = None
 
     def cancel(self) -> None:
-        """Prevent the event from firing. Idempotent before firing."""
+        """Prevent the event from firing.
+
+        Idempotent: cancelling twice is a no-op, and the owning queue's
+        live-event accounting is adjusted exactly once. Cancelling an
+        event that already fired raises :class:`SimulationError`.
+        """
+        if self.cancelled:
+            return
         if self.fired:
             raise SimulationError("cannot cancel an event that already fired")
         self.cancelled = True
+        queue = self._queue
+        if queue is not None:
+            queue.note_cancelled(self)
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.priority, self.seq) < (
@@ -100,6 +112,7 @@ class EventQueue:
         return self._live_foreground
 
     def push(self, event: Event) -> None:
+        event._queue = self
         heapq.heappush(self._heap, event)
         self._live += 1
         if not event.daemon:
@@ -124,7 +137,23 @@ class EventQueue:
         return self._heap[0].time if self._heap else None
 
     def note_cancelled(self, event: Event) -> None:
-        """Tell the queue one of its events was cancelled (for len())."""
+        """Tell the queue one of its events was cancelled (for len()).
+
+        Called exactly once per cancellation by :meth:`Event.cancel`;
+        callers must not invoke it directly (double-counting would
+        corrupt the live totals and truncate open-ended runs).
+        """
         self._live -= 1
         if not event.daemon:
             self._live_foreground -= 1
+
+    def debug_stats(self) -> dict:
+        """Introspection for tests: live/dead/resident entry counts."""
+        resident = len(self._heap)
+        return {
+            "impl": "heap",
+            "live": self._live,
+            "live_foreground": self._live_foreground,
+            "resident": resident,
+            "dead": resident - self._live,
+        }

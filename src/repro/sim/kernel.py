@@ -13,18 +13,35 @@ produces bit-identical results.
 
 from __future__ import annotations
 
+import os
 from typing import Any, Callable, Optional
 
-from ..errors import SimulationError
+from ..errors import ConfigError, SimulationError
 from .events import Event, EventQueue, PRIORITY_NORMAL
+from .wheel import TimingWheelQueue
+
+#: Selectable event-queue implementations. Both honour the same
+#: ``(time, priority, seq)`` ordering contract, proven bit-identical by
+#: tests/test_sim_queue_equivalence.py; ``wheel`` is the fast default,
+#: ``heap`` the simple baseline kept as an escape hatch (select it with
+#: ``REPRO_EVENT_QUEUE=heap`` or ``Simulator(event_queue="heap")``).
+QUEUE_IMPLS = {"heap": EventQueue, "wheel": TimingWheelQueue}
+DEFAULT_QUEUE_IMPL = "wheel"
 
 
 class Simulator:
     """Discrete-event simulator with an integer-picosecond clock."""
 
-    def __init__(self) -> None:
+    def __init__(self, event_queue: Optional[str] = None) -> None:
+        impl = event_queue or os.environ.get("REPRO_EVENT_QUEUE") or DEFAULT_QUEUE_IMPL
+        factory = QUEUE_IMPLS.get(impl)
+        if factory is None:
+            raise ConfigError(
+                f"unknown event queue {impl!r}; choose from {sorted(QUEUE_IMPLS)}"
+            )
+        self.queue_impl: str = impl
         self._now: int = 0
-        self._queue = EventQueue()
+        self._queue = factory()
         self._seq: int = 0
         self._running = False
         self._stop_requested = False
@@ -124,17 +141,32 @@ class Simulator:
         priority: int = PRIORITY_NORMAL,
         daemon: bool = False,
     ) -> Event:
-        """Schedule ``callback(*args)`` after a relative delay."""
+        """Schedule ``callback(*args)`` after a relative delay.
+
+        This is the hardware models' hot path (everything schedules at
+        ``now + wire_time``), so it inlines :meth:`call_at` rather than
+        delegating — one Python frame per scheduled event, not two.
+        """
         if delay_ps < 0:
             raise SimulationError(f"negative delay: {delay_ps} ps")
-        return self.call_at(
-            self._now + delay_ps, callback, *args, priority=priority, daemon=daemon
-        )
+        self._seq = seq = self._seq + 1
+        event = Event(self._now + delay_ps, priority, seq, callback, args, daemon)
+        self._queue.push(event)
+        trace = self._trace_sched
+        if trace is not None:
+            trace((self._now, event))
+        return event
 
     def cancel(self, event: Event) -> None:
-        """Cancel a pending event scheduled on this simulator."""
+        """Cancel a pending event scheduled on this simulator.
+
+        Idempotent: cancelling the same event again is a no-op (the
+        queue's live accounting is adjusted exactly once, so repeated
+        cancels cannot drain an open-ended :meth:`run` early).
+        Cancelling an event that already fired raises
+        :class:`SimulationError`.
+        """
         event.cancel()
-        self._queue.note_cancelled(event)
 
     # -- execution -------------------------------------------------------
 
@@ -170,21 +202,35 @@ class Simulator:
             )
         self._running = True
         self._stop_requested = False
+        queue = self._queue
+        peek_time = queue.peek_time
+        pop = queue.pop
         fired = 0
         try:
-            while not self._stop_requested:
-                if max_events is not None and fired >= max_events:
-                    break
-                next_time = self._queue.peek_time()
+            # The dispatch loop inlines step() — one Python frame per
+            # fired event, with the queue methods pre-bound. The
+            # ``fired != max_events`` form also covers max_events=None
+            # (never equal), keeping that check to a single compare.
+            while not self._stop_requested and fired != max_events:
+                next_time = peek_time()
                 if next_time is None:
                     break
                 if until is not None and next_time > until:
                     break
                 # Open-ended runs stop when only daemon housekeeping
-                # (e.g. GPS pulse-per-second ticks) remains.
-                if until is None and self._queue.live_foreground == 0:
+                # (e.g. GPS pulse-per-second ticks) remains. Reads the
+                # counter, not the live_foreground property: a Python
+                # property costs a frame per dispatched event here.
+                if until is None and queue._live_foreground == 0:
                     break
-                self.step()
+                event = pop()
+                self._now = event.time
+                event.fired = True
+                self.events_processed += 1
+                trace = self._trace_fire
+                if trace is not None:
+                    trace(event)
+                event.callback(*event.args)
                 fired += 1
         finally:
             self._running = False
@@ -203,3 +249,7 @@ class Simulator:
     def pending_events(self) -> int:
         """Number of live (non-cancelled, unfired) events."""
         return len(self._queue)
+
+    def queue_stats(self) -> dict:
+        """Event-queue introspection (impl name, live/dead/resident)."""
+        return self._queue.debug_stats()

@@ -8,7 +8,10 @@ hands it the raw C-level ``deque.append`` of two dedicated rings — one
 holding ``(scheduled_at_ps, Event)`` pairs, one holding fired ``Event``
 objects — and totals come from the kernel's own counters rather than
 per-record increments. When no tracer is attached the only cost
-anywhere is a ``None`` check.
+anywhere is a ``None`` check. The hooks attach to the kernel's
+schedule/fire path, *above* the event queue, so they cost the same one
+C-level append per event under both queue implementations (timing
+wheel and binary heap — see :mod:`repro.sim.wheel`).
 
 The buffer renders as Chrome ``trace_event`` JSON (load it at
 ``chrome://tracing`` or https://ui.perfetto.dev) with simulated

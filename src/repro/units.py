@@ -100,12 +100,27 @@ def format_rate(bps: float) -> str:
 def wire_time_ps(nbytes: int, rate_bps: float) -> int:
     """Time to serialize ``nbytes`` at ``rate_bps``, in integer ps.
 
-    Rounds to the nearest picosecond; at 10 Gbps one byte is exactly
-    800 ps so common cases stay exact.
+    Rounds to the nearest picosecond (ties to even, matching
+    :func:`round`); at 10 Gbps one byte is exactly 800 ps so common
+    cases stay exact. For integral rates — every real line rate — the
+    division is done in integer arithmetic: ``nbytes * 8 * 1e12``
+    overflows a float's 53-bit mantissa beyond ~1 TB transfers, and
+    cumulative DMA/MAC completion times must stay exact, not merely
+    close.
     """
     if rate_bps <= 0:
         raise ConfigError(f"rate must be positive, got {rate_bps}")
-    return round(nbytes * 8 * PS_PER_SEC / rate_bps)
+    if isinstance(rate_bps, int):
+        rate = rate_bps
+    elif isinstance(rate_bps, float) and rate_bps.is_integer():
+        rate = int(rate_bps)
+    else:
+        return round(nbytes * 8 * PS_PER_SEC / rate_bps)
+    quotient, remainder = divmod(nbytes * 8 * PS_PER_SEC, rate)
+    doubled = remainder * 2
+    if doubled > rate or (doubled == rate and quotient & 1):
+        quotient += 1
+    return quotient
 
 
 def bytes_per_ps(rate_bps: float) -> float:

@@ -209,6 +209,25 @@ class TestDma:
         sim.run()
         assert dma.stats.delivered == 4
 
+    def test_drop_accounting_in_bytes(self):
+        """Capture loss (E6) is measurable in bytes, not just packets,
+        on the same transfer-byte scale as delivered_bytes."""
+        sim = Simulator()
+        dma = DmaEngine(sim, ring_slots=2, per_packet_overhead=64)
+        packets = [build_udp(frame_size=500) for __ in range(5)]
+        packets[4].capture_length = 100  # snapped capture still counted
+        for packet in packets:
+            dma.enqueue(packet)
+        per_full = len(packets[0].data) + 64
+        assert dma.stats.dropped == 3
+        assert dma.stats.dropped_bytes == 2 * per_full + (100 + 64)
+        sim.run()
+        assert dma.stats.delivered_bytes == 2 * per_full
+        assert (
+            dma.stats.delivered_bytes + dma.stats.dropped_bytes
+            == 4 * per_full + 100 + 64
+        )
+
     def test_ring_drains_and_accepts_again(self):
         sim = Simulator()
         dma = DmaEngine(sim, ring_slots=1)

@@ -356,6 +356,46 @@ class TestRateMonitor:
         sim.run(until=ms(2))
         assert len(rates.samples) == count
 
+    def test_stop_restart_keeps_single_tick_chain(self):
+        """Regression: stop() then start() before the pending daemon
+        tick fired used to leave two live tick chains, doubling the
+        sampling rate from then on."""
+        from repro.osnt.monitor import RateMonitor
+        from repro.units import ms, us
+
+        sim = Simulator()
+        sender, pipeline = capture_rig(sim)
+        stats = pipeline.port.rx.stats
+        rates = RateMonitor(sim, lambda: (stats.packets, stats.bytes), interval_ps=us(100))
+        rates.start()
+        sim.run(until=us(250))  # mid-interval: a tick is pending
+        count_before = len(rates.samples)
+        rates.stop()
+        rates.start()  # old chain's tick still pending at us(300)
+        sim.run(until=ms(1))
+        # Exactly one chain: one sample per interval from the restart,
+        # not two interleaved chains sampling at double rate.
+        expected = (ms(1) - us(250)) // us(100)
+        assert len(rates.samples) - count_before == expected
+        times = [s.time_ps for s in rates.samples[count_before:]]
+        assert times == sorted(times)
+        deltas = {b - a for a, b in zip(times, times[1:])}
+        assert deltas == {us(100)}
+
+    def test_stop_restart_repeatedly_is_stable(self):
+        from repro.osnt.monitor import RateMonitor
+        from repro.units import us
+
+        sim = Simulator()
+        rates = RateMonitor(sim, lambda: (0, 0), interval_ps=us(10))
+        for __ in range(5):
+            rates.start()
+            rates.stop()
+        rates.start()
+        sim.run(until=us(100))
+        assert len(rates.samples) == 10
+        assert sim.pending_events() <= 1  # one pending tick, not six
+
     def test_validation(self):
         from repro.errors import ConfigError
         from repro.osnt.monitor import RateMonitor

@@ -326,3 +326,140 @@ class TestDaemonEvents:
         sim.call_after(12, lambda: None)  # anchor so the daemon fires
         sim.run()
         assert seen == ["fg"]
+
+
+QUEUE_IMPLS = ["heap", "wheel"]
+
+
+class TestIdempotentCancel:
+    """Double cancellation must not corrupt the queue's live accounting.
+
+    Regression: on the old code ``Simulator.cancel()`` unconditionally
+    decremented ``_live``/``_live_foreground``, so cancelling the same
+    event twice made the counters negative and made open-ended runs
+    drain early, silently truncating measurements.
+    """
+
+    @pytest.mark.parametrize("impl", QUEUE_IMPLS)
+    def test_double_cancel_keeps_len_exact(self, impl):
+        sim = Simulator(event_queue=impl)
+        keep = sim.call_after(10, lambda: None)
+        victim = sim.call_after(20, lambda: None)
+        assert sim.pending_events() == 2
+        sim.cancel(victim)
+        sim.cancel(victim)  # must be a no-op
+        assert sim.pending_events() == 1
+        assert keep is not None
+
+    @pytest.mark.parametrize("impl", QUEUE_IMPLS)
+    def test_double_cancel_keeps_live_foreground_exact(self, impl):
+        sim = Simulator(event_queue=impl)
+        sim.call_after(10, lambda: None)
+        victim = sim.call_after(20, lambda: None)
+        sim.cancel(victim)
+        victim.cancel()  # direct Event.cancel: still a no-op
+        stats = sim.queue_stats()
+        assert stats["live"] == 1
+        assert stats["live_foreground"] == 1
+
+    @pytest.mark.parametrize("impl", QUEUE_IMPLS)
+    def test_double_cancel_does_not_truncate_open_ended_run(self, impl):
+        sim = Simulator(event_queue=impl)
+        seen = []
+        victim = sim.call_after(5, seen.append, "cancelled")
+        sim.call_after(100, seen.append, "must fire")
+        sim.cancel(victim)
+        sim.cancel(victim)
+        sim.run()  # old code: live_foreground hit 0, run drained at t=0
+        assert seen == ["must fire"]
+        assert sim.now == 100
+
+    @pytest.mark.parametrize("impl", QUEUE_IMPLS)
+    def test_cancel_after_fire_still_raises(self, impl):
+        sim = Simulator(event_queue=impl)
+        event = sim.call_after(1, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.cancel(event)
+        with pytest.raises(SimulationError):
+            event.cancel()
+
+    @pytest.mark.parametrize("impl", QUEUE_IMPLS)
+    def test_direct_event_cancel_updates_queue_accounting(self, impl):
+        sim = Simulator(event_queue=impl)
+        event = sim.call_after(10, lambda: None, daemon=True)
+        event.cancel()  # not via Simulator.cancel
+        assert sim.pending_events() == 0
+        assert sim.queue_stats()["live_foreground"] == 0
+
+
+class TestCancellationHeavyWorkload:
+    """Schedule N, cancel most: exact fire order, lazy peek, compaction."""
+
+    @pytest.mark.parametrize("impl", QUEUE_IMPLS)
+    def test_mass_cancel_exact_fire_order(self, impl):
+        sim = Simulator(event_queue=impl)
+        fired = []
+        events = []
+        for i in range(5000):
+            # Colliding timestamps + mixed priorities to stress ties.
+            time = (i * 7919) % 1000 * 100
+            priority = PRIORITY_HIGH if i % 3 == 0 else PRIORITY_LOW
+            events.append(
+                sim.call_at(time, fired.append, i, priority=priority)
+            )
+        survivors = []
+        for i, event in enumerate(events):
+            if i % 5 != 0:
+                sim.cancel(event)
+                if i % 10 == 0:
+                    sim.cancel(event)  # double cancel mixed in
+            else:
+                survivors.append((event.time, event.priority, event.seq, i))
+        assert sim.pending_events() == len(survivors)
+        sim.run()
+        survivors.sort()
+        assert fired == [i for (*_key, i) in survivors]
+
+    def test_wheel_compacts_dead_entries(self):
+        sim = Simulator(event_queue="wheel")
+        events = [sim.call_after(100 + i, lambda: None) for i in range(4000)]
+        for event in events[:3600]:  # 90% cancelled: dead outgrows live
+            sim.cancel(event)
+        stats = sim.queue_stats()
+        assert stats["live"] == 400
+        # Compaction swept the garbage: resident dead entries stay
+        # bounded by max(512, live) instead of accumulating like the
+        # heap's lazy deletion (which would retain all 3600 here).
+        assert stats["dead"] < 512
+        assert stats["resident"] < 4000
+        sim.run()
+        assert sim.queue_stats()["live"] == 0
+
+    @pytest.mark.parametrize("impl", QUEUE_IMPLS)
+    def test_peek_time_skips_cancelled_head(self, impl):
+        sim = Simulator(event_queue=impl)
+        first = sim.call_after(10, lambda: None)
+        sim.call_after(20, lambda: None)
+        queue = sim._queue
+        assert queue.peek_time() == 10
+        sim.cancel(first)
+        assert queue.peek_time() == 20
+
+    @pytest.mark.parametrize("impl", QUEUE_IMPLS)
+    def test_daemon_foreground_accounting_under_churn(self, impl):
+        sim = Simulator(event_queue=impl)
+        daemons = [sim.call_after(i, lambda: None, daemon=True) for i in range(50)]
+        foregrounds = [sim.call_after(i, lambda: None) for i in range(50)]
+        for event in daemons[:20]:
+            sim.cancel(event)
+        for event in foregrounds[:30]:
+            sim.cancel(event)
+        stats = sim.queue_stats()
+        assert stats["live"] == 50
+        assert stats["live_foreground"] == 20
+        fired = sim.run()
+        # Open-ended run fires all survivors; only the trailing daemons
+        # scheduled after the last foreground event stay unfired.
+        assert fired >= 20
+        assert sim.queue_stats()["live_foreground"] == 0

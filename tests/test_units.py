@@ -63,6 +63,56 @@ class TestRates:
         assert units.wire_time_ps(nbytes, units.TEN_GBPS) == nbytes * 800
 
 
+class TestWireTimeExactness:
+    """wire_time_ps must stay exact for integral rates.
+
+    Regression: the old float-division path lost precision once the
+    ``nbytes * 8 * 1e12`` intermediate crossed 2**53 (large cumulative
+    DMA/MAC transfers), so completion times drifted off the exact grid.
+    """
+
+    @given(
+        st.integers(min_value=1, max_value=10**12),
+        st.integers(min_value=1, max_value=400 * units.GBPS),
+    )
+    def test_matches_exact_rational_rounding(self, nbytes, rate):
+        from fractions import Fraction
+
+        exact = Fraction(nbytes * 8 * units.PS_PER_SEC, rate)
+        # round() on a Fraction is exact round-half-to-even.
+        assert units.wire_time_ps(nbytes, rate) == round(exact)
+
+    @given(st.integers(min_value=1, max_value=10**12))
+    def test_integral_float_rate_matches_int_rate(self, nbytes):
+        assert units.wire_time_ps(nbytes, float(units.TEN_GBPS)) == units.wire_time_ps(
+            nbytes, units.TEN_GBPS
+        )
+
+    def test_large_transfer_is_exact_beyond_float_mantissa(self):
+        # 2 TB at 10 Gbps: nbytes * 8e12 is far past 2**53; the float
+        # path is off by tens of picoseconds here.
+        nbytes = 2 * 10**12
+        assert units.wire_time_ps(nbytes, units.TEN_GBPS) == nbytes * 800
+
+    @given(
+        st.lists(st.integers(min_value=64, max_value=1518), min_size=1, max_size=50)
+    )
+    def test_cumulative_wire_times_sum_exactly_at_10g(self, frames):
+        total = sum(units.wire_time_ps(n, units.TEN_GBPS) for n in frames)
+        assert total == sum(n * 800 for n in frames)
+
+    @given(
+        st.integers(min_value=1, max_value=10**9),
+        st.floats(min_value=1.5, max_value=1e11, exclude_min=True),
+    )
+    def test_non_integral_rates_keep_float_semantics(self, nbytes, rate):
+        if rate.is_integer():
+            rate += 0.5
+        assert units.wire_time_ps(nbytes, rate) == round(
+            nbytes * 8 * units.PS_PER_SEC / rate
+        )
+
+
 class TestFraming:
     def test_min_frame_wire_bytes(self):
         # 64-byte frame + 8 preamble + 12 IFG = 84 bytes on the wire.
