@@ -2,14 +2,15 @@
 device" (paper §2), via the RFC 2544 methodology built on OSNT.
 
 Regenerates: zero-loss throughput + latency-at-throughput for a
-non-blocking DUT and two oversubscribed-fabric DUTs.
+non-blocking DUT and two oversubscribed-fabric DUTs, as declarative
+``rfc2544`` sweeps through :mod:`repro.runner`.
 """
 
 from conftest import emit, run_once
 
 from repro.analysis import format_table
-from repro.testbed.rfc2544 import default_switch_factory, rfc2544_throughput
-from repro.units import GBPS, ms
+from repro.runner import ExperimentSpec, run_spec
+from repro.units import GBPS
 
 DUTS = [
     ("non-blocking", None),
@@ -20,13 +21,18 @@ DUTS = [
 
 def test_e8_achievable_bandwidth_and_latency(benchmark):
     def sweep():
-        results = []
-        for label, fabric in DUTS:
-            factory = default_switch_factory(fabric_rate_bps=fabric) if fabric else None
-            results.append(
-                (label, fabric, rfc2544_throughput(512, switch_factory=factory))
-            )
-        return results
+        spec = ExperimentSpec(
+            name="e8-dut-comparison",
+            scenario="rfc2544",
+            params={"frame_size": 512, "seed": 0},
+            axes={"fabric_rate_bps": [fabric for __, fabric in DUTS]},
+            retries=0,
+        )
+        report = run_spec(spec, workers=0)
+        report.require_ok()
+        return [
+            (label, shard.result) for (label, __), shard in zip(DUTS, report.ok)
+        ]
 
     results = run_once(benchmark, sweep)
     emit(
@@ -35,31 +41,31 @@ def test_e8_achievable_bandwidth_and_latency(benchmark):
             [
                 [
                     label,
-                    f"{r.throughput_load:.3f}",
-                    round(r.throughput_bps / 1e9, 2),
-                    round(r.latency_mean_us, 2),
-                    round(r.latency_p99_us, 2),
-                    len(r.trials),
+                    f"{r['throughput_load']:.3f}",
+                    round(r["throughput_bps"] / 1e9, 2),
+                    round(r["latency_mean_us"], 2),
+                    round(r["latency_p99_us"], 2),
+                    len(r["trials"]),
                 ]
-                for label, __, r in results
+                for label, r in results
             ],
             title="E8: RFC 2544 achievable bandwidth + latency (512 B frames)",
         )
     )
-    by_label = {label: r for label, __, r in results}
+    by_label = dict(results)
     # A non-blocking switch forwards full line rate with low flat latency.
     nonblocking = by_label["non-blocking"]
-    assert nonblocking.throughput_load == 1.0
-    assert nonblocking.latency_mean_us < 5
+    assert nonblocking["throughput_load"] == 1.0
+    assert nonblocking["latency_mean_us"] < 5
     # Oversubscribed fabrics cap at ~their aggregate rate (short trials
     # overshoot slightly while the fabric buffer absorbs the excess)...
-    assert 5.5e9 < by_label["6G fabric"].throughput_bps < 7.0e9
-    assert 2.2e9 < by_label["2.5G fabric"].throughput_bps < 3.3e9
+    assert 5.5e9 < by_label["6G fabric"]["throughput_bps"] < 7.0e9
+    assert 2.2e9 < by_label["2.5G fabric"]["throughput_bps"] < 3.3e9
     # ...and run much higher latency at their zero-loss boundary.
-    assert by_label["6G fabric"].latency_mean_us > 10
+    assert by_label["6G fabric"]["latency_mean_us"] > 10
     assert (
-        by_label["2.5G fabric"].latency_mean_us
-        > by_label["6G fabric"].latency_mean_us
+        by_label["2.5G fabric"]["latency_mean_us"]
+        > by_label["6G fabric"]["latency_mean_us"]
     )
 
 
@@ -68,18 +74,24 @@ def test_e8b_frame_size_sweep(benchmark):
 
     The fabric forwards ~6 Gbps of frame bytes regardless of size, so the
     zero-loss *load* is roughly constant while pps scales inversely."""
-    from repro.units import ms
-
     sizes = [64, 512, 1518]
 
     def sweep():
-        factory = default_switch_factory(fabric_rate_bps=6 * GBPS)
-        return [
-            rfc2544_throughput(
-                size, switch_factory=factory, duration_ps=ms(1), resolution=0.05
-            )
-            for size in sizes
-        ]
+        spec = ExperimentSpec(
+            name="e8b-frame-size",
+            scenario="rfc2544",
+            params={
+                "fabric_rate_bps": 6 * GBPS,
+                "duration": "1ms",
+                "resolution": 0.05,
+                "seed": 0,
+            },
+            axes={"frame_size": sizes},
+            retries=0,
+        )
+        report = run_spec(spec, workers=0)
+        report.require_ok()
+        return [shard.result for shard in report.ok]
 
     results = run_once(benchmark, sweep)
     emit(
@@ -87,10 +99,10 @@ def test_e8b_frame_size_sweep(benchmark):
             ["frame B", "zero-loss load", "throughput Gbps", "kpps at rate"],
             [
                 [
-                    r.frame_size,
-                    f"{r.throughput_load:.2f}",
-                    round(r.throughput_bps / 1e9, 2),
-                    round(r.throughput_bps / (r.frame_size * 8) / 1e3, 1),
+                    r["frame_size"],
+                    f"{r['throughput_load']:.2f}",
+                    round(r["throughput_bps"] / 1e9, 2),
+                    round(r["throughput_bps"] / (r["frame_size"] * 8) / 1e3, 1),
                 ]
                 for r in results
             ],
@@ -99,8 +111,8 @@ def test_e8b_frame_size_sweep(benchmark):
     )
     # Fabric-byte-limited: throughput in Gbps roughly constant across
     # sizes (within search resolution + short-trial buffer slack)...
-    gbps = [r.throughput_bps / 1e9 for r in results]
+    gbps = [r["throughput_bps"] / 1e9 for r in results]
     assert max(gbps) - min(gbps) < 1.6
     # ...while packet rate falls with frame size.
-    pps = [r.throughput_bps / (r.frame_size * 8) for r in results]
+    pps = [r["throughput_bps"] / (r["frame_size"] * 8) for r in results]
     assert pps[0] > pps[1] > pps[2]

@@ -1,0 +1,102 @@
+"""Perf: the sweep runner's worker pool must actually overlap shards.
+
+Two microbenchmarks of :class:`repro.runner.SweepRunner`:
+
+* a wall-clock-bound 16-shard sweep (the ``sleep`` scenario) — pool
+  scheduling must overlap shard wall time regardless of core count, so
+  the ≥1.5x speedup at 4 workers is asserted unconditionally;
+* a CPU-bound 16-shard ``line_rate`` sweep — real simulation work,
+  where parallel speedup needs real cores, so the assertion is gated on
+  ``os.cpu_count()``.
+
+Both also assert the merged documents are bit-identical across worker
+counts — speed must never change results.
+"""
+
+import os
+import time
+
+from conftest import emit, run_once
+
+from repro.analysis import format_table
+from repro.runner import ExperimentSpec, run_spec
+
+SHARDS = 16
+WORKERS = 4
+
+
+def _timed_run(spec, workers):
+    start = time.monotonic()
+    report = run_spec(spec, workers=workers)
+    elapsed = time.monotonic() - start
+    report.require_ok()
+    return elapsed, report
+
+
+def test_perf_pool_overlaps_wallclock(benchmark):
+    spec = ExperimentSpec(
+        name="perf-sleep",
+        scenario="sleep",
+        params={"duration_s": 0.2},
+        repeats=SHARDS,
+        retries=1,
+        timeout_s=30.0,
+    )
+
+    def compare():
+        serial, serial_report = _timed_run(spec, workers=1)
+        parallel, parallel_report = _timed_run(spec, workers=WORKERS)
+        assert serial_report.merged_json() == parallel_report.merged_json()
+        return serial, parallel
+
+    serial, parallel = run_once(benchmark, compare)
+    speedup = serial / parallel
+    emit(
+        format_table(
+            ["workers", "shards", "wall s", "speedup"],
+            [
+                [1, SHARDS, f"{serial:.2f}", "1.00x"],
+                [WORKERS, SHARDS, f"{parallel:.2f}", f"{speedup:.2f}x"],
+            ],
+            title="sweep runner: 16 wall-clock-bound shards (0.2s each)",
+        )
+    )
+    # Scheduling overlap is core-count independent: 16 x 0.2s of sleep
+    # must not take 3.2s when four workers run at once.
+    assert speedup >= 1.5, f"pool gave only {speedup:.2f}x on wall-clock-bound shards"
+
+
+def test_perf_parallel_simulation_speedup(benchmark):
+    spec = ExperimentSpec(
+        name="perf-line-rate",
+        scenario="line_rate",
+        params={"frame_size": 64, "duration": "1ms", "seed": 0},
+        repeats=SHARDS,
+        retries=1,
+        timeout_s=120.0,
+    )
+
+    def compare():
+        serial, serial_report = _timed_run(spec, workers=1)
+        parallel, parallel_report = _timed_run(spec, workers=WORKERS)
+        assert serial_report.merged_json() == parallel_report.merged_json()
+        return serial, parallel
+
+    serial, parallel = run_once(benchmark, compare)
+    speedup = serial / parallel
+    cores = os.cpu_count() or 1
+    emit(
+        format_table(
+            ["workers", "shards", "wall s", "speedup"],
+            [
+                [1, SHARDS, f"{serial:.2f}", "1.00x"],
+                [WORKERS, SHARDS, f"{parallel:.2f}", f"{speedup:.2f}x"],
+            ],
+            title=f"sweep runner: 16 CPU-bound line-rate shards ({cores} cores)",
+        )
+    )
+    # CPU-bound speedup needs real cores; don't assert it on tiny boxes.
+    if cores >= 4:
+        assert speedup >= 1.5, f"4 workers gave only {speedup:.2f}x on {cores} cores"
+    elif cores >= 2:
+        assert speedup >= 1.2, f"4 workers gave only {speedup:.2f}x on {cores} cores"

@@ -41,8 +41,12 @@ class RegisterError(ReproError):
     """A hardware register access was invalid (bad address or value)."""
 
 
-class ConfigError(ReproError):
-    """A component was configured with inconsistent or invalid values."""
+class ConfigError(ReproError, ValueError):
+    """A component was configured with inconsistent or invalid values.
+
+    Also a :class:`ValueError`: malformed user input (rate strings,
+    durations, spec fields) can be caught generically at API boundaries.
+    """
 
 
 class LinkError(ReproError):
@@ -63,6 +67,10 @@ class OpenFlowError(ReproError):
 
 class OflopsError(ReproError):
     """An OFLOPS-turbo measurement module failed or was misconfigured."""
+
+
+class SweepError(ReproError):
+    """An experiment sweep could not be expanded, executed or resumed."""
 
 
 class SnmpError(ReproError):

@@ -1,4 +1,10 @@
-"""``oflops-turbo`` — run measurement modules against the simulated DUT."""
+"""``oflops-turbo`` — run measurement modules against the simulated DUT.
+
+Since the sweep-runner redesign this CLI is a thin front-end over the
+``oflops`` scenario: the flags are packed into a declarative
+:class:`~repro.runner.ExperimentSpec` with one shard per module, so the
+same runs can be scripted, sharded and resumed via ``osnt-sweep``.
+"""
 
 from __future__ import annotations
 
@@ -6,12 +12,34 @@ import argparse
 import sys
 from typing import List, Optional
 
-from ..devices.openflow_switch import PROFILES, SwitchProfile
+from ..devices.openflow_switch import PROFILES
 from ..units import us
-from .context import OflopsContext
-from .module import ModuleRunner
 from .modules import ALL_MODULES
 from .report import render_result
+
+
+def build_spec(args, names: List[str]):
+    """The declarative spec equivalent to one CLI invocation."""
+    from ..runner import ExperimentSpec
+
+    return ExperimentSpec(
+        name="oflops-turbo",
+        scenario="oflops",
+        params={
+            "dut": args.dut,
+            "barrier_mode": args.barrier_mode,
+            "firmware_delay": us(args.firmware_delay_us),
+            "table_write": us(args.table_write_us),
+            "control_latency": us(args.control_latency_us),
+            "n_rules": args.rules,
+            # Pin the legacy seed so CLI output matches the pre-spec
+            # runner (OflopsContext's default OSNT root seed).
+            "seed": 0,
+        },
+        axes={"module": names},
+        timeout_s=None,
+        retries=0,
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -47,6 +75,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--control-latency-us", type=float, default=50.0, help="one-way channel latency"
     )
     parser.add_argument("--rules", type=int, default=32, help="rules for table tests")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for the module sweep (0 = inline)",
+    )
+    parser.add_argument(
+        "--spec",
+        action="store_true",
+        help="print the equivalent osnt-sweep spec JSON and exit",
+    )
     args = parser.parse_args(argv)
 
     names = args.modules or sorted(ALL_MODULES)
@@ -54,27 +93,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     if unknown:
         parser.error(f"unknown module(s): {', '.join(unknown)}")
 
-    for name in names:
-        if args.dut is not None:
-            profile = PROFILES[args.dut]
-        else:
-            profile = SwitchProfile(
-                barrier_mode=args.barrier_mode,
-                firmware_delay_ps=us(args.firmware_delay_us),
-                table_write_ps=us(args.table_write_us),
-            )
-        ctx = OflopsContext(
-            profile=profile, control_latency_ps=us(args.control_latency_us)
-        )
-        module_cls = ALL_MODULES[name]
-        if name in ("flow_mod_latency", "forwarding_consistency"):
-            module = module_cls(n_rules=args.rules)
-        else:
-            module = module_cls()
-        result = ModuleRunner(ctx).run(module)
-        print(render_result(result))
+    from ..runner import run_spec
+
+    spec = build_spec(args, names)
+    if args.spec:
+        print(spec.to_json(indent=2))
+        return 0
+    report = run_spec(spec, workers=args.workers)
+    for shard in report.ok:
+        print(render_result(shard.result))
         print()
-    return 0
+    for shard in report.failed:
+        print(
+            f"module {shard.params['module']!r} failed: {shard.error}",
+            file=sys.stderr,
+        )
+    return 1 if report.failed else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

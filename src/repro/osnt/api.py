@@ -18,11 +18,13 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Optional, Sequence, Union
 
+from contextlib import contextmanager
+
 from ..errors import CaptureError, GeneratorError
 from ..net.packet import Packet
 from ..net.pcap import PcapRecord, PcapWriter
 from ..net.pcapng import read_capture
-from ..units import parse_rate
+from ..units import duration_ps, rate_bps
 from .device import OSNTDevice
 from .generator.field_modifiers import FieldModifier
 from .generator.schedule import (
@@ -93,23 +95,25 @@ class TrafficGenerator:
         return self
 
     def set_rate(self, rate: Union[str, float]) -> "TrafficGenerator":
-        """Target wire rate, e.g. ``"5Gbps"`` or bits/second."""
-        bps = parse_rate(rate) if isinstance(rate, str) else float(rate)
-        self._schedule = ConstantBitRate(bps, self._engine.port.rate_bps)
+        """Target wire rate, e.g. ``"9.5Gbps"`` or bits/second."""
+        self._schedule = ConstantBitRate(rate_bps(rate), self._engine.port.rate_bps)
         return self
 
     def set_load(self, fraction: float) -> "TrafficGenerator":
         """Target offered load as a fraction of line rate (0, 1]."""
         return self.set_rate(rate_for_load(fraction, self._engine.port.rate_bps))
 
-    def set_gap(self, gap_ps: int) -> "TrafficGenerator":
-        """Fixed start-to-start inter-departure time."""
-        self._schedule = ConstantGap(gap_ps, self._engine.port.rate_bps)
+    def set_gap(self, gap: Union[str, int]) -> "TrafficGenerator":
+        """Fixed start-to-start inter-departure time (ps or ``"2us"``)."""
+        self._schedule = ConstantGap(duration_ps(gap), self._engine.port.rate_bps)
         return self
 
-    def poisson(self, mean_gap_ps: float) -> "TrafficGenerator":
-        """Poisson arrivals with the given mean gap."""
+    def poisson(self, mean_gap: Union[str, float]) -> "TrafficGenerator":
+        """Poisson arrivals with the given mean gap (ps or ``"2us"``)."""
         rng = self.device.streams.stream(f"gen{self.port_index}.poisson")
+        mean_gap_ps = (
+            duration_ps(mean_gap) if isinstance(mean_gap, str) else float(mean_gap)
+        )
         self._schedule = PoissonGaps(mean_gap_ps, rng, self._engine.port.rate_bps)
         return self
 
@@ -117,8 +121,9 @@ class TrafficGenerator:
         self._schedule = Bursts(burst_len, idle_gap_ps, self._engine.port.rate_bps)
         return self
 
-    def for_duration(self, duration_ps: int) -> "TrafficGenerator":
-        self._duration_ps = duration_ps
+    def for_duration(self, duration: Union[str, int]) -> "TrafficGenerator":
+        """Run length as integer picoseconds or a string like ``"10ms"``."""
+        self._duration_ps = duration_ps(duration)
         return self
 
     # -- timestamping --------------------------------------------------------
@@ -131,7 +136,18 @@ class TrafficGenerator:
 
     # -- control -----------------------------------------------------------
 
-    def start(self) -> None:
+    def start(self) -> "TrafficGenerator":
+        """Arm the engine and start transmitting; returns ``self``.
+
+        Prefer the context-manager idiom for new code — it guarantees
+        the matching :meth:`stop`::
+
+            with generator.load_template(pkt).set_rate("5Gbps"):
+                sim.run(until=...)
+
+        (Bare ``start()``/``stop()`` pairs remain supported but are
+        deprecated in the docs.)
+        """
         if self._source is None:
             raise GeneratorError("nothing loaded: call load_template()/load_pcap()")
         self._engine.configure(
@@ -145,8 +161,20 @@ class TrafficGenerator:
         self._bus.write32(self._base + 0x4, 1 if self._embed else 0)  # ts_enable
         self._bus.write32(self._base + 0x8, self._ts_offset)  # ts_offset
         self._bus.write32(self._base + 0x0, 0x1)  # ctrl.start
+        return self
+
     def stop(self) -> None:
         self._bus.write32(self._base + 0x0, 0x2)  # ctrl.stop
+
+    def __enter__(self) -> "TrafficGenerator":
+        """Start on entry (if not already running); stop on exit."""
+        if not self.running:
+            self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
 
     @property
     def running(self) -> bool:
@@ -202,6 +230,27 @@ class TrafficMonitor:
 
     def stop_capture(self) -> None:
         self._bus.write32(self._base + 0x0, 0)
+
+    @property
+    def capturing(self) -> bool:
+        return bool(self._bus.read32(self._base + 0x0))
+
+    def __enter__(self) -> "TrafficMonitor":
+        """Start capturing on entry (if not already); stop on exit.
+
+        ``start_capture(...)`` returns the monitor, so capture options
+        compose with the ``with`` statement::
+
+            with monitor.start_capture(snap_bytes=64):
+                sim.run(until=...)
+        """
+        if not self.capturing:
+            self.start_capture()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop_capture()
+        return False
 
     def clear(self) -> None:
         self._pipeline.host.clear()
@@ -349,6 +398,42 @@ class OSNT:
 
     def port(self, port_index: int):
         return self.device.port(port_index)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @contextmanager
+    def capture(self, port_index: int, **capture_kwargs):
+        """Capture on one port for the duration of a ``with`` block.
+
+        Arms the monitor with ``start_capture(**capture_kwargs)``,
+        yields it, and always stops the capture on exit::
+
+            with tester.capture(1, snap_bytes=64) as mon:
+                sim.run(until=ms(2))
+            rows = mon.packets
+        """
+        monitor = self.monitor(port_index)
+        monitor.start_capture(**capture_kwargs)
+        try:
+            yield monitor
+        finally:
+            monitor.stop_capture()
+
+    def shutdown(self) -> None:
+        """Quiesce the card: stop every running generator and capture."""
+        for generator in self._generators.values():
+            if generator.running:
+                generator.stop()
+        for monitor in self._monitors.values():
+            if monitor.capturing:
+                monitor.stop_capture()
+
+    def __enter__(self) -> "OSNT":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.shutdown()
+        return False
 
     # -- telemetry ------------------------------------------------------------
 

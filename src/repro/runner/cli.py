@@ -1,0 +1,153 @@
+"""``osnt-sweep`` — run declarative experiment campaigns from the shell.
+
+Subcommands:
+
+* ``run SPEC.json`` — execute (or resume) a sweep across workers.
+* ``expand SPEC.json`` — show the shard expansion without running it.
+* ``scenarios`` — list every registered scenario.
+* ``example`` — print a ready-to-edit spec.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from ..analysis.report import format_table
+from ..errors import SweepError
+from .execution import SweepRunner
+from .registry import get_scenario, list_scenarios
+from .spec import ExperimentSpec, canonical_json
+
+_EXAMPLE_SPEC = {
+    "name": "latency-vs-load",
+    "scenario": "legacy_latency",
+    "params": {"frame_size": 512, "duration": "2ms"},
+    "axes": {"load": [0.2, 0.4, 0.6, 0.8, 1.0]},
+    "repeats": 1,
+    "seed": 0,
+    "timeout_s": 120.0,
+    "retries": 1,
+}
+
+
+def _load_spec(path: str) -> ExperimentSpec:
+    if path == "-":
+        return ExperimentSpec.from_json(sys.stdin.read())
+    with open(path) as handle:
+        return ExperimentSpec.from_json(handle.read())
+
+
+def _cmd_run(args) -> int:
+    spec = _load_spec(args.spec)
+    runner = SweepRunner(
+        spec, workers=args.workers, checkpoint_dir=args.checkpoint
+    )
+    report = runner.run(resume=not args.no_resume, max_shards=args.max_shards)
+    print(report.summary())
+    if args.merged:
+        print(report.merged_json())
+    if args.json:
+        report.save_json(args.json)
+        print(f"wrote report to {args.json}", file=sys.stderr)
+    if report.failed:
+        print(
+            f"{len(report.failed)} shard(s) failed after retries", file=sys.stderr
+        )
+        return 1
+    return 0
+
+
+def _cmd_expand(args) -> int:
+    spec = _load_spec(args.spec)
+    get_scenario(spec.scenario)  # fail fast on unknown scenarios
+    shards = spec.expand()
+    print(
+        format_table(
+            ["shard", "repeat", "seed", "params"],
+            [
+                [s.index, s.repeat, s.seed, canonical_json(s.params)[:72]]
+                for s in shards
+            ],
+            title=(
+                f"spec {spec.name!r}: scenario {spec.scenario!r}, "
+                f"{len(shards)} shard(s), fingerprint {spec.fingerprint()}"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_scenarios(args) -> int:
+    rows = []
+    for name in list_scenarios():
+        fn = get_scenario(name)
+        doc = (fn.__doc__ or "").strip().splitlines()
+        rows.append([name, doc[0] if doc else ""])
+    print(format_table(["scenario", "description"], rows, title="registered scenarios"))
+    return 0
+
+
+def _cmd_example(args) -> int:
+    print(json.dumps(_EXAMPLE_SPEC, indent=2))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="osnt-sweep",
+        description="sharded, resumable experiment sweeps over declarative specs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="execute (or resume) a sweep")
+    run_p.add_argument("spec", help="spec JSON file ('-' for stdin)")
+    run_p.add_argument(
+        "--workers", type=int, default=2,
+        help="worker processes (0 = inline, no timeouts; default 2)",
+    )
+    run_p.add_argument(
+        "--checkpoint", metavar="DIR", default=None,
+        help="checkpoint directory (enables resume across invocations)",
+    )
+    run_p.add_argument(
+        "--no-resume", action="store_true",
+        help="ignore existing checkpoints instead of resuming",
+    )
+    run_p.add_argument(
+        "--max-shards", type=int, default=None,
+        help="run at most N shards this invocation (smoke/partial runs)",
+    )
+    run_p.add_argument(
+        "--merged", action="store_true",
+        help="print the canonical merged JSON document to stdout",
+    )
+    run_p.add_argument("--json", metavar="FILE", help="write the full report here")
+    run_p.set_defaults(func=_cmd_run)
+
+    expand_p = sub.add_parser("expand", help="show the shard expansion")
+    expand_p.add_argument("spec", help="spec JSON file ('-' for stdin)")
+    expand_p.set_defaults(func=_cmd_expand)
+
+    sub.add_parser("scenarios", help="list registered scenarios").set_defaults(
+        func=_cmd_scenarios
+    )
+    sub.add_parser("example", help="print an example spec").set_defaults(
+        func=_cmd_example
+    )
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except SweepError as exc:
+        print(f"osnt-sweep: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"osnt-sweep: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,385 @@
+"""Sharded sweep execution: worker pool, timeouts, retries, resume.
+
+The :class:`SweepRunner` expands a spec into shards and drives them to
+completion:
+
+* ``workers >= 1`` — each shard attempt runs in its own forked worker
+  process, which writes its outcome to a result file and exits. The
+  parent polls the fleet, enforces the per-attempt wall-clock timeout
+  (terminating hung workers), retries failed/hung shards up to the
+  spec's budget and records exhausted shards as *failed* without
+  aborting the sweep.
+* ``workers == 0`` — inline execution in this process (no isolation,
+  no timeout enforcement): the debugging mode, and what the thin
+  ``measure_*`` shims use so library calls never fork.
+
+Determinism: a shard's result depends only on ``(spec, shard)`` — the
+seed is derived from the spec, never from the schedule — so merged
+reports are bit-identical at any worker count. Completed shards are
+checkpointed as ``shard-NNNNN.json`` files; a rerun against the same
+checkpoint directory (guarded by the spec fingerprint) skips them,
+which is all resume-after-interruption is.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+import json
+import multiprocessing
+import os
+import tempfile
+import time
+import traceback
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..errors import SweepError
+from .registry import get_scenario
+from .report import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_PENDING,
+    ShardResult,
+    SweepReport,
+)
+from .spec import ExperimentSpec, Shard
+
+#: How often the parent polls running workers, seconds.
+_POLL_S = 0.01
+#: Grace period between SIGTERM and SIGKILL for a hung worker.
+_KILL_GRACE_S = 1.0
+
+_SPEC_FILE = "spec.json"
+
+
+def _jsonify(value: Any) -> Any:
+    """Force a scenario result into plain JSON-serializable data."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _jsonify(dataclasses.asdict(value))
+    if isinstance(value, dict):
+        return {str(key): _jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    if isinstance(value, (str, bool)) or value is None:
+        return value
+    if isinstance(value, int):
+        return int(value)
+    if isinstance(value, float):
+        return float(value)
+    # numpy scalars and friends expose item(); last resort is repr.
+    item = getattr(value, "item", None)
+    if callable(item):
+        return _jsonify(item())
+    return repr(value)
+
+
+def run_shard(spec: ExperimentSpec, shard: Shard) -> Dict[str, Any]:
+    """Execute one shard in-process and return its sanitized result.
+
+    This is the single definition of "run a shard" shared by inline
+    mode and worker processes: import the spec's helper modules,
+    resolve the scenario, call it on a private deep copy of the params
+    (already copied at expansion; scenarios may still mutate freely)
+    and apply the collection plan.
+    """
+    for module in spec.imports:
+        importlib.import_module(module)
+    fn = get_scenario(spec.scenario)
+    result = _jsonify(fn(dict(shard.params), shard.seed))
+    if not isinstance(result, dict):
+        raise SweepError(
+            f"scenario {spec.scenario!r} must return a dict, got {type(result).__name__}"
+        )
+    if spec.collect is not None:
+        result = {key: result[key] for key in spec.collect if key in result}
+    return result
+
+
+def _worker_main(spec: ExperimentSpec, shard: Shard, out_path: str) -> None:
+    """Worker-process entry: run the shard, write the outcome, exit hard.
+
+    The outcome file is written atomically (temp + rename) so the
+    parent never sees a torn read; ``os._exit`` skips the parent's
+    inherited atexit/teardown state (we forked from an arbitrary
+    process, possibly a test runner).
+    """
+    try:
+        try:
+            result = run_shard(spec, shard)
+            payload = {"status": STATUS_OK, "result": result}
+        except BaseException as exc:  # noqa: BLE001 — report, don't die silently
+            payload = {
+                "status": STATUS_FAILED,
+                "error": f"{type(exc).__name__}: {exc}",
+                "traceback": traceback.format_exc(),
+            }
+        tmp = f"{out_path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, out_path)
+    finally:
+        os._exit(0)
+
+
+class _Attempt:
+    """One in-flight worker process for one shard."""
+
+    def __init__(self, ctx, spec: ExperimentSpec, shard: Shard, out_path: str) -> None:
+        self.shard = shard
+        self.out_path = out_path
+        self.started = time.monotonic()
+        self.process = ctx.Process(
+            target=_worker_main, args=(spec, shard, out_path), daemon=True
+        )
+        self.process.start()
+
+    def outcome(self, timeout_s: Optional[float]) -> Optional[Dict[str, Any]]:
+        """Poll once: a payload dict when finished, None while running."""
+        if os.path.exists(self.out_path):
+            # The file is renamed into place after the payload is
+            # complete, so existence implies a full, valid document.
+            self.process.join()
+            with open(self.out_path) as handle:
+                payload = json.load(handle)
+            os.unlink(self.out_path)
+            return payload
+        if not self.process.is_alive():
+            return {
+                "status": STATUS_FAILED,
+                "error": f"worker died without a result (exitcode {self.process.exitcode})",
+            }
+        if timeout_s is not None and time.monotonic() - self.started > timeout_s:
+            self.terminate()
+            return {
+                "status": STATUS_FAILED,
+                "error": f"shard timed out after {timeout_s}s (worker terminated)",
+            }
+        return None
+
+    def terminate(self) -> None:
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(_KILL_GRACE_S)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join()
+        if os.path.exists(self.out_path):
+            os.unlink(self.out_path)
+
+
+class SweepRunner:
+    """Run an :class:`ExperimentSpec` across a worker pool, resumably.
+
+    >>> runner = SweepRunner(spec, workers=4, checkpoint_dir="run1")
+    >>> report = runner.run()          # resumes automatically on rerun
+
+    ``workers=0`` executes inline (no subprocesses, no timeouts) and is
+    what the deprecated ``measure_*`` wrappers use under the hood.
+    """
+
+    def __init__(
+        self,
+        spec: ExperimentSpec,
+        workers: int = 1,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if workers < 0:
+            raise SweepError(f"workers must be >= 0, got {workers}")
+        self.spec = spec
+        self.workers = workers
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self._ctx = multiprocessing.get_context(start_method)
+
+    # -- checkpoints ---------------------------------------------------------
+
+    def _shard_path(self, index: int) -> Path:
+        assert self.checkpoint_dir is not None
+        return self.checkpoint_dir / f"shard-{index:05d}.json"
+
+    def _prepare_checkpoints(self, resume: bool) -> Dict[int, Dict[str, Any]]:
+        """Create/validate the checkpoint dir; load completed shards."""
+        directory = self.checkpoint_dir
+        if directory is None:
+            return {}
+        directory.mkdir(parents=True, exist_ok=True)
+        spec_path = directory / _SPEC_FILE
+        fingerprint = self.spec.fingerprint()
+        if spec_path.exists():
+            try:
+                recorded = json.loads(spec_path.read_text()).get("fingerprint")
+            except json.JSONDecodeError:
+                recorded = None
+            if recorded != fingerprint:
+                if resume:
+                    raise SweepError(
+                        f"checkpoint dir {directory} belongs to a different spec "
+                        f"(fingerprint {recorded!r} != {fingerprint!r}); "
+                        "use a fresh directory or resume=False to overwrite"
+                    )
+                for stale in directory.glob("shard-*.json"):
+                    stale.unlink()
+        spec_path.write_text(
+            json.dumps(
+                {"fingerprint": fingerprint, "spec": self.spec.to_dict()},
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        completed: Dict[int, Dict[str, Any]] = {}
+        if resume:
+            for path in sorted(directory.glob("shard-*.json")):
+                try:
+                    payload = json.loads(path.read_text())
+                except json.JSONDecodeError:
+                    continue  # torn write from a killed run: redo the shard
+                if payload.get("status") == STATUS_OK and "index" in payload:
+                    completed[payload["index"]] = payload
+        return completed
+
+    def _checkpoint(self, record: ShardResult) -> None:
+        if self.checkpoint_dir is None or record.status != STATUS_OK:
+            return
+        path = self._shard_path(record.index)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(record.checkpoint_payload(), sort_keys=True) + "\n")
+        os.replace(tmp, path)
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, resume: bool = True, max_shards: Optional[int] = None) -> SweepReport:
+        """Execute (or finish) the sweep and return the merged report.
+
+        ``resume=True`` skips shards already checkpointed by a previous
+        run of the same spec. ``max_shards`` caps how many shards this
+        call executes (smoke runs; simulating an interrupted campaign) —
+        the rest are reported as *pending*.
+        """
+        shards = self.spec.expand()
+        completed = self._prepare_checkpoints(resume)
+        records: Dict[int, ShardResult] = {}
+        todo: List[Shard] = []
+        for shard in shards:
+            payload = completed.get(shard.index)
+            if payload is not None and payload.get("seed") == shard.seed:
+                records[shard.index] = ShardResult(
+                    index=shard.index,
+                    params=shard.params,
+                    seed=shard.seed,
+                    status=STATUS_OK,
+                    result=payload.get("result"),
+                    from_checkpoint=True,
+                )
+            else:
+                todo.append(shard)
+        budget = len(todo) if max_shards is None else min(max_shards, len(todo))
+        skipped = todo[budget:]
+        todo = todo[:budget]
+
+        if self.workers == 0:
+            for shard in todo:
+                records[shard.index] = self._run_inline(shard)
+        else:
+            self._run_pool(todo, records)
+
+        for shard in skipped:
+            records[shard.index] = ShardResult(
+                index=shard.index,
+                params=shard.params,
+                seed=shard.seed,
+                status=STATUS_PENDING,
+            )
+        report = SweepReport(
+            spec=self.spec, shards=[records[shard.index] for shard in shards]
+        )
+        return report
+
+    def _run_inline(self, shard: Shard) -> ShardResult:
+        record = ShardResult(index=shard.index, params=shard.params, seed=shard.seed)
+        start = time.monotonic()
+        for attempt in range(1 + self.spec.retries):
+            record.attempts = attempt + 1
+            try:
+                record.result = run_shard(self.spec, shard)
+                record.status = STATUS_OK
+                record.error = None
+                break
+            except Exception as exc:  # noqa: BLE001 — recorded, retried
+                record.status = STATUS_FAILED
+                record.error = f"{type(exc).__name__}: {exc}"
+        record.elapsed_s = time.monotonic() - start
+        self._checkpoint(record)
+        return record
+
+    def _run_pool(self, todo: List[Shard], records: Dict[int, ShardResult]) -> None:
+        """The worker-pool scheduler: launch, poll, retry, collect."""
+        with tempfile.TemporaryDirectory(prefix="repro-sweep-") as scratch:
+            pending = list(todo)
+            attempts_used: Dict[int, int] = {shard.index: 0 for shard in todo}
+            started_at: Dict[int, float] = {}
+            running: List[_Attempt] = []
+            try:
+                while pending or running:
+                    while pending and len(running) < self.workers:
+                        shard = pending.pop(0)
+                        started_at.setdefault(shard.index, time.monotonic())
+                        attempts_used[shard.index] += 1
+                        out = os.path.join(
+                            scratch,
+                            f"shard-{shard.index:05d}-a{attempts_used[shard.index]}.json",
+                        )
+                        running.append(_Attempt(self._ctx, self.spec, shard, out))
+                    still_running: List[_Attempt] = []
+                    for attempt in running:
+                        payload = attempt.outcome(self.spec.timeout_s)
+                        if payload is None:
+                            still_running.append(attempt)
+                            continue
+                        shard = attempt.shard
+                        if payload["status"] == STATUS_OK:
+                            record = ShardResult(
+                                index=shard.index,
+                                params=shard.params,
+                                seed=shard.seed,
+                                status=STATUS_OK,
+                                result=payload.get("result"),
+                                attempts=attempts_used[shard.index],
+                                elapsed_s=time.monotonic() - started_at[shard.index],
+                            )
+                            records[shard.index] = record
+                            self._checkpoint(record)
+                        elif attempts_used[shard.index] <= self.spec.retries:
+                            pending.append(shard)  # retry at the back of the queue
+                        else:
+                            records[shard.index] = ShardResult(
+                                index=shard.index,
+                                params=shard.params,
+                                seed=shard.seed,
+                                status=STATUS_FAILED,
+                                error=payload.get("error", "unknown failure"),
+                                attempts=attempts_used[shard.index],
+                                elapsed_s=time.monotonic() - started_at[shard.index],
+                            )
+                    running = still_running
+                    if running:
+                        time.sleep(_POLL_S)
+            finally:
+                for attempt in running:
+                    attempt.terminate()
+
+
+def run_spec(
+    spec: ExperimentSpec,
+    workers: int = 0,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    resume: bool = True,
+    max_shards: Optional[int] = None,
+) -> SweepReport:
+    """One-call convenience: build a :class:`SweepRunner` and run it."""
+    runner = SweepRunner(spec, workers=workers, checkpoint_dir=checkpoint_dir)
+    return runner.run(resume=resume, max_shards=max_shards)

@@ -1,0 +1,74 @@
+"""The scenario registry: names specs can refer to.
+
+A *scenario* is the unit of sharded execution: a callable
+``fn(params: dict, seed: int) -> dict`` that builds a fresh simulator,
+runs one measurement point and returns a JSON-serializable result.
+Scenario functions must be **pure in (params, seed)** — same inputs,
+same result — because the sweep runner relies on that for bit-identical
+merges at any worker count and across resumes.
+
+Built-in scenarios (the testbed experiments, RFC 2544, OFLOPS modules)
+live in :mod:`repro.runner.scenarios` and are loaded lazily on the
+first lookup; external code registers its own with the
+:func:`scenario` decorator and lists the defining module in
+``ExperimentSpec.imports`` so worker processes can resolve it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..errors import SweepError
+
+ScenarioFn = Callable[[dict, int], dict]
+
+_SCENARIOS: Dict[str, ScenarioFn] = {}
+_BUILTINS_LOADED = False
+
+
+def register_scenario(name: str, fn: ScenarioFn) -> ScenarioFn:
+    """Register ``fn`` under ``name`` (last registration wins)."""
+    if not name:
+        raise SweepError("scenario name must be non-empty")
+    _SCENARIOS[name] = fn
+    return fn
+
+
+def scenario(name: str) -> Callable[[ScenarioFn], ScenarioFn]:
+    """Decorator form of :func:`register_scenario`.
+
+    >>> @scenario("my_point")
+    ... def my_point(params, seed):
+    ...     return {"value": params["x"] * 2}
+    """
+
+    def decorate(fn: ScenarioFn) -> ScenarioFn:
+        return register_scenario(name, fn)
+
+    return decorate
+
+
+def _load_builtins() -> None:
+    global _BUILTINS_LOADED
+    if not _BUILTINS_LOADED:
+        _BUILTINS_LOADED = True
+        from . import scenarios  # noqa: F401  (registers on import)
+
+
+def get_scenario(name: str) -> ScenarioFn:
+    """Resolve a scenario name, loading the built-ins on first miss."""
+    fn = _SCENARIOS.get(name)
+    if fn is None:
+        _load_builtins()
+        fn = _SCENARIOS.get(name)
+    if fn is None:
+        raise SweepError(
+            f"unknown scenario {name!r}; known: {', '.join(list_scenarios())}"
+        )
+    return fn
+
+
+def list_scenarios() -> List[str]:
+    """Sorted names of every registered scenario (built-ins included)."""
+    _load_builtins()
+    return sorted(_SCENARIOS)

@@ -56,15 +56,36 @@ class ThroughputResult:
 SwitchFactory = Callable[[Simulator], LegacySwitch]
 
 
-def default_switch_factory(fabric_rate_bps: Optional[float] = None) -> SwitchFactory:
+def default_switch_factory(
+    fabric_rate_bps: Optional[float] = None, switch_seed: int = 1
+) -> SwitchFactory:
     def build(sim: Simulator) -> LegacySwitch:
         return LegacySwitch(
             sim,
             fabric_rate_bps=fabric_rate_bps,
-            rng=RandomStreams(1).stream("sw"),
+            rng=RandomStreams(switch_seed).stream("sw"),
         )
 
     return build
+
+
+def rfc2544_point(
+    frame_size: int,
+    fabric_rate_bps: Optional[float] = None,
+    duration_ps: int = ms(2),
+    resolution: float = 0.01,
+    switch_seed: int = 1,
+) -> ThroughputResult:
+    """One spec-friendly RFC 2544 search: all-data parameters, no
+    factory closures — what the ``rfc2544`` scenario runs per shard."""
+    return rfc2544_throughput(
+        frame_size,
+        switch_factory=default_switch_factory(
+            fabric_rate_bps=fabric_rate_bps, switch_seed=switch_seed
+        ),
+        duration_ps=duration_ps,
+        resolution=resolution,
+    )
 
 
 def _run_trial(

@@ -1,14 +1,23 @@
 """Reusable measurement scenarios — the code behind experiments E1–E7.
 
-Each function builds a topology, runs a measurement and returns plain
-dataclasses; the benchmarks print them as the paper-style tables and the
-examples reuse them for narrative output.
+Each experiment is factored into a **single-point function**
+(``*_point``): build one fresh topology, run one measurement, return a
+plain dataclass row plus an extras dict (telemetry when requested).
+The point functions are registered as named scenarios in
+:mod:`repro.runner.scenarios`, which is what makes them sweepable,
+shardable and resumable through :class:`~repro.runner.ExperimentSpec`.
+
+The original ``measure_*`` entry points remain as **thin deprecation
+shims**: each builds the equivalent spec and runs it inline via
+:func:`repro.runner.run_spec`, returning the same row lists as before.
+New code should construct specs directly (see ``docs/RUNNER.md``).
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..analysis.latency import latency_from_capture
 from ..analysis.stats import SummaryStats, gap_jitter_std
@@ -35,6 +44,29 @@ from ..units import (
 from .topology import LegacySwitchTestbed, OpenFlowTestbed
 from .workloads import fixed_size_source, port_sweep_source, udp_template
 
+#: Extras returned by every point function (telemetry snapshots etc.).
+Extras = Dict[str, Any]
+
+
+def _row_from_result(cls, result: Dict[str, Any]):
+    """Rebuild a row dataclass from a (possibly larger) result dict."""
+    names = {f.name for f in dataclasses.fields(cls)}
+    return cls(**{key: value for key, value in result.items() if key in names})
+
+
+def _run_shim_spec(spec) -> List[Dict[str, Any]]:
+    """Run a shim's spec inline; surface any shard failure as an error."""
+    from ..runner import run_spec
+
+    report = run_spec(spec, workers=0)
+    report.require_ok()
+    return report.results()
+
+
+def _maybe_snapshot(tester: OSNT, telemetry: bool) -> Extras:
+    return {"telemetry": tester.snapshot()} if telemetry else {}
+
+
 # ---------------------------------------------------------------------------
 # E1 — line rate vs packet size
 # ---------------------------------------------------------------------------
@@ -54,45 +86,62 @@ class LineRateRow:
         return self.achieved_pps / self.theoretical_pps
 
 
-def measure_line_rate(
-    frame_sizes: List[int],
+def line_rate_point(
+    frame_size: int,
     duration_ps: int = ms(1),
     ports: int = 1,
-) -> List[LineRateRow]:
-    """Generate at line rate for each size; report achieved vs theory.
+    seed: int = 0,
+    telemetry: bool = False,
+) -> Tuple[LineRateRow, Extras]:
+    """One E1 point: line-rate generation for one frame size.
 
     ``ports=4`` exercises all four card ports simultaneously (two
     loopback pairs, both directions), demonstrating the paper's "full
     line-rate ... across the four card ports".
     """
-    rows = []
-    for frame_size in frame_sizes:
-        sim = Simulator()
-        tester = OSNT(sim)
-        connect(tester.port(0), tester.port(1))
-        connect(tester.port(2), tester.port(3))
-        active = [0] if ports == 1 else list(range(ports))
-        generators = []
-        for port_index in active:
-            generator = tester.generator(port_index)
-            generator.load_template(udp_template(frame_size)).at_line_rate()
-            generator.for_duration(duration_ps)
-            generator.start()
-            generators.append(generator)
-        sim.run()
-        total_pps = sum(g.stats.achieved_pps() for g in generators)
-        total_goodput = sum(g.stats.achieved_bps() for g in generators)
-        rows.append(
-            LineRateRow(
-                frame_size=frame_size,
-                ports=len(active),
-                achieved_pps=total_pps,
-                theoretical_pps=line_rate_pps(frame_size) * len(active),
-                achieved_goodput_bps=total_goodput,
-                theoretical_goodput_bps=line_rate_goodput_bps(frame_size) * len(active),
-            )
-        )
-    return rows
+    sim = Simulator()
+    tester = OSNT(sim, root_seed=seed)
+    connect(tester.port(0), tester.port(1))
+    connect(tester.port(2), tester.port(3))
+    if telemetry:
+        tester.start_telemetry()
+    active = [0] if ports == 1 else list(range(ports))
+    generators = []
+    for port_index in active:
+        generator = tester.generator(port_index)
+        generator.load_template(udp_template(frame_size)).at_line_rate()
+        generator.for_duration(duration_ps)
+        generator.start()
+        generators.append(generator)
+    sim.run()
+    row = LineRateRow(
+        frame_size=frame_size,
+        ports=len(active),
+        achieved_pps=sum(g.stats.achieved_pps() for g in generators),
+        theoretical_pps=line_rate_pps(frame_size) * len(active),
+        achieved_goodput_bps=sum(g.stats.achieved_bps() for g in generators),
+        theoretical_goodput_bps=line_rate_goodput_bps(frame_size) * len(active),
+    )
+    return row, _maybe_snapshot(tester, telemetry)
+
+
+def measure_line_rate(
+    frame_sizes: List[int],
+    duration_ps: int = ms(1),
+    ports: int = 1,
+) -> List[LineRateRow]:
+    """Deprecated shim over the ``line_rate`` scenario (docs/RUNNER.md)."""
+    from ..runner import ExperimentSpec
+
+    spec = ExperimentSpec(
+        name="measure_line_rate",
+        scenario="line_rate",
+        params={"duration": duration_ps, "ports": ports, "seed": 0},
+        axes={"frame_size": list(frame_sizes)},
+        timeout_s=None,
+        retries=0,
+    )
+    return [_row_from_result(LineRateRow, r) for r in _run_shim_spec(spec)]
 
 
 # ---------------------------------------------------------------------------
@@ -109,54 +158,79 @@ class PrecisionRow:
     worst_error_ns: float
 
 
+def idt_precision_point(
+    kind: str,
+    target_gap_ps: int,
+    packet_count: int = 500,
+    frame_size: int = 128,
+    seed: int = 0,
+) -> Tuple[PrecisionRow, Extras]:
+    """One E2 point: wire-level inter-departure precision for one
+    generator kind (``"osnt"`` hardware model or ``"software"`` host)."""
+    sim = Simulator()
+    tester = OSNT(sim)
+    connect(tester.port(0), tester.port(1))
+    departures: List[int] = []
+    source = fixed_size_source(frame_size, count=packet_count)
+    schedule = ConstantGap(target_gap_ps)
+    if kind == "osnt":
+        generator = tester.generator(0)
+        tester.device.ports[0].tx.on_start_of_frame = (
+            lambda p: departures.append(sim.now)
+        )
+        generator._engine.configure(source, schedule=schedule, count=packet_count)
+        generator._engine.start()
+    elif kind == "software":
+        # A separate port pair driven by the host-stack model.
+        from ..hw.port import EthernetPort
+
+        a = EthernetPort(sim, "sw-a")
+        b = EthernetPort(sim, "sw-b")
+        connect(a, b)
+        swgen = SoftwareGenerator(sim, a, rng=RandomStreams(seed).stream("swgen"))
+        a.tx.on_start_of_frame = lambda p: departures.append(sim.now)
+        swgen.configure(source, schedule, count=packet_count)
+        swgen.start()
+    else:
+        from ..errors import ConfigError
+
+        raise ConfigError(f"unknown generator kind {kind!r} (osnt|software)")
+    sim.run()
+    gaps = [b_ - a_ for a_, b_ in zip(departures, departures[1:])]
+    mean = sum(gaps) / len(gaps)
+    row = PrecisionRow(
+        generator=kind,
+        target_gap_ns=target_gap_ps / 1e3,
+        mean_gap_ns=mean / 1e3,
+        gap_std_ns=gap_jitter_std(departures) / 1e3,
+        worst_error_ns=max(abs(g - target_gap_ps) for g in gaps) / 1e3,
+    )
+    return row, {}
+
+
 def measure_idt_precision(
     target_gap_ps: int,
     packet_count: int = 500,
     frame_size: int = 128,
     seed: int = 0,
 ) -> List[PrecisionRow]:
-    """Compare wire-level inter-departure precision: OSNT vs software."""
-    rows = []
-    for kind in ("osnt", "software"):
-        sim = Simulator()
-        tester = OSNT(sim)
-        connect(tester.port(0), tester.port(1))
-        departures: List[int] = []
-        source = fixed_size_source(frame_size, count=packet_count)
-        schedule = ConstantGap(target_gap_ps)
-        if kind == "osnt":
-            generator = tester.generator(0)
-            tester.device.ports[0].tx.on_start_of_frame = (
-                lambda p: departures.append(sim.now)
-            )
-            generator._engine.configure(source, schedule=schedule, count=packet_count)
-            generator._engine.start()
-        else:
-            # A separate port pair driven by the host-stack model.
-            from ..hw.port import EthernetPort
+    """Deprecated shim over the ``idt_precision`` scenario."""
+    from ..runner import ExperimentSpec
 
-            a = EthernetPort(sim, "sw-a")
-            b = EthernetPort(sim, "sw-b")
-            connect(a, b)
-            swgen = SoftwareGenerator(
-                sim, a, rng=RandomStreams(seed).stream("swgen")
-            )
-            a.tx.on_start_of_frame = lambda p: departures.append(sim.now)
-            swgen.configure(source, schedule, count=packet_count)
-            swgen.start()
-        sim.run()
-        gaps = [b_ - a_ for a_, b_ in zip(departures, departures[1:])]
-        mean = sum(gaps) / len(gaps)
-        rows.append(
-            PrecisionRow(
-                generator=kind,
-                target_gap_ns=target_gap_ps / 1e3,
-                mean_gap_ns=mean / 1e3,
-                gap_std_ns=gap_jitter_std(departures) / 1e3,
-                worst_error_ns=max(abs(g - target_gap_ps) for g in gaps) / 1e3,
-            )
-        )
-    return rows
+    spec = ExperimentSpec(
+        name="measure_idt_precision",
+        scenario="idt_precision",
+        params={
+            "target_gap_ps": target_gap_ps,
+            "packet_count": packet_count,
+            "frame_size": frame_size,
+            "seed": seed,
+        },
+        axes={"kind": ["osnt", "software"]},
+        timeout_s=None,
+        retries=0,
+    )
+    return [_row_from_result(PrecisionRow, r) for r in _run_shim_spec(spec)]
 
 
 @dataclass
@@ -166,34 +240,63 @@ class ClockErrorRow:
     abs_error_ns: float
 
 
+def clock_error_point(
+    mode: str,
+    freq_error_ppm: float = 30.0,
+    walk_ppb: float = 20.0,
+    horizon_s: int = 10,
+    seed: int = 0,
+) -> Tuple[List[ClockErrorRow], Extras]:
+    """One E2b point: clock error over time for one discipline mode."""
+    gps_enabled = mode == "gps-disciplined"
+    sim = Simulator()
+    tester = OSNT(
+        sim,
+        root_seed=seed,
+        freq_error_ppm=freq_error_ppm,
+        oscillator_walk_ppb=walk_ppb,
+        gps_enabled=gps_enabled,
+    )
+    rows = []
+    for second in range(1, horizon_s + 1):
+        # Sample mid-interval: at the pulse instant a disciplined
+        # clock reads zero by construction, which would overstate it.
+        sim.run(until=seconds(second) + seconds(1) // 2)
+        rows.append(
+            ClockErrorRow(
+                mode=mode,
+                after_seconds=second,
+                abs_error_ns=abs(tester.device.oscillator.error_ps()) / 1e3,
+            )
+        )
+    return rows, {}
+
+
 def measure_clock_error(
     freq_error_ppm: float = 30.0,
     walk_ppb: float = 20.0,
     horizon_s: int = 10,
     seed: int = 0,
 ) -> List[ClockErrorRow]:
-    """Clock error over time, with and without GPS discipline."""
-    rows = []
-    for mode, gps_enabled in (("free-running", False), ("gps-disciplined", True)):
-        sim = Simulator()
-        tester = OSNT(
-            sim,
-            root_seed=seed,
-            freq_error_ppm=freq_error_ppm,
-            oscillator_walk_ppb=walk_ppb,
-            gps_enabled=gps_enabled,
-        )
-        for second in range(1, horizon_s + 1):
-            # Sample mid-interval: at the pulse instant a disciplined
-            # clock reads zero by construction, which would overstate it.
-            sim.run(until=seconds(second) + seconds(1) // 2)
-            rows.append(
-                ClockErrorRow(
-                    mode=mode,
-                    after_seconds=second,
-                    abs_error_ns=abs(tester.device.oscillator.error_ps()) / 1e3,
-                )
-            )
+    """Deprecated shim over the ``clock_error`` scenario."""
+    from ..runner import ExperimentSpec
+
+    spec = ExperimentSpec(
+        name="measure_clock_error",
+        scenario="clock_error",
+        params={
+            "freq_error_ppm": freq_error_ppm,
+            "walk_ppb": walk_ppb,
+            "horizon_s": horizon_s,
+            "seed": seed,
+        },
+        axes={"mode": ["free-running", "gps-disciplined"]},
+        timeout_s=None,
+        retries=0,
+    )
+    rows: List[ClockErrorRow] = []
+    for result in _run_shim_spec(spec):
+        rows.extend(_row_from_result(ClockErrorRow, r) for r in result["rows"])
     return rows
 
 
@@ -215,14 +318,17 @@ class LatencyRow:
     switch_drops: int
 
 
-def measure_legacy_switch_latency(
-    loads: List[float],
-    frame_sizes: List[int],
+def legacy_latency_point(
+    frame_size: int,
+    load: float,
     duration_ps: int = ms(2),
     probe_load: float = 0.05,
     switch_kwargs: Optional[dict] = None,
-) -> List[LatencyRow]:
-    """Demo Part I: packet-processing latency under different loads.
+    seed: int = 0,
+    switch_seed: int = 1,
+    telemetry: bool = False,
+) -> Tuple[LatencyRow, Extras]:
+    """One E3 point: probe latency through the switch at one load.
 
     Timestamped probes flow OSNT port 0 → switch → OSNT port 1 at a
     fixed low rate; background traffic from OSNT port 2 shares the same
@@ -231,52 +337,76 @@ def measure_legacy_switch_latency(
     1.0 the queue saturates: latency plateaus at the buffer depth and
     the switch drops — exactly the shape a hardware DUT shows.
     """
-    rows = []
-    for frame_size in frame_sizes:
-        for load in loads:
-            sim = Simulator()
-            switch = LegacySwitch(
-                sim, rng=RandomStreams(1).stream("sw"), **(switch_kwargs or {})
-            )
-            bed = LegacySwitchTestbed(sim, switch=switch, wire_cross_ports=True)
-            bed.teach_mac_table("02:00:00:00:00:02")
-            bed.monitor.start_capture()
-            background_load = max(0.0, load - probe_load)
-            if background_load > 0:
-                # Poisson arrivals: real aggregates are bursty, and the
-                # classic latency-vs-load queueing curve needs burstiness
-                # (deterministic CBR only queues at saturation).
-                background = bed.tester.generator(2)
-                background.load_template(
-                    udp_template(frame_size, src_mac="02:00:00:00:00:03")
-                )
-                from ..units import frame_wire_bytes, wire_time_ps
+    sim = Simulator()
+    switch = LegacySwitch(
+        sim, rng=RandomStreams(switch_seed).stream("sw"), **(switch_kwargs or {})
+    )
+    bed = LegacySwitchTestbed(sim, switch=switch, wire_cross_ports=True, root_seed=seed)
+    bed.teach_mac_table("02:00:00:00:00:02")
+    if telemetry:
+        bed.tester.start_telemetry()
+    bed.monitor.start_capture()
+    background_load = max(0.0, load - probe_load)
+    if background_load > 0:
+        # Poisson arrivals: real aggregates are bursty, and the
+        # classic latency-vs-load queueing curve needs burstiness
+        # (deterministic CBR only queues at saturation).
+        background = bed.tester.generator(2)
+        background.load_template(
+            udp_template(frame_size, src_mac="02:00:00:00:00:03")
+        )
+        from ..units import frame_wire_bytes, wire_time_ps
 
-                wire_ps = wire_time_ps(frame_wire_bytes(frame_size), TEN_GBPS)
-                background.poisson(wire_ps / min(background_load, 1.0))
-                background.for_duration(duration_ps)
-                background.start()
-            bed.generator.load_template(udp_template(frame_size))
-            bed.generator.set_load(min(load, probe_load))
-            bed.generator.embed_timestamps().for_duration(duration_ps)
-            bed.generator.start()
-            sim.run()
-            result = latency_from_capture(bed.monitor.packets)
-            summary = result.summary
-            rows.append(
-                LatencyRow(
-                    frame_size=frame_size,
-                    load=load,
-                    packets=summary.count,
-                    mean_us=summary.mean / 1e6,
-                    p50_us=summary.p50 / 1e6,
-                    p99_us=summary.p99 / 1e6,
-                    max_us=summary.maximum / 1e6,
-                    jitter_us=result.jitter_rfc3550_ps / 1e6,
-                    switch_drops=switch.egress_drops,
-                )
-            )
-    return rows
+        wire_ps = wire_time_ps(frame_wire_bytes(frame_size), TEN_GBPS)
+        background.poisson(wire_ps / min(background_load, 1.0))
+        background.for_duration(duration_ps)
+        background.start()
+    bed.generator.load_template(udp_template(frame_size))
+    bed.generator.set_load(min(load, probe_load))
+    bed.generator.embed_timestamps().for_duration(duration_ps)
+    bed.generator.start()
+    sim.run()
+    result = latency_from_capture(bed.monitor.packets)
+    summary = result.summary
+    row = LatencyRow(
+        frame_size=frame_size,
+        load=load,
+        packets=summary.count,
+        mean_us=summary.mean / 1e6,
+        p50_us=summary.p50 / 1e6,
+        p99_us=summary.p99 / 1e6,
+        max_us=summary.maximum / 1e6,
+        jitter_us=result.jitter_rfc3550_ps / 1e6,
+        switch_drops=switch.egress_drops,
+    )
+    return row, _maybe_snapshot(bed.tester, telemetry)
+
+
+def measure_legacy_switch_latency(
+    loads: List[float],
+    frame_sizes: List[int],
+    duration_ps: int = ms(2),
+    probe_load: float = 0.05,
+    switch_kwargs: Optional[dict] = None,
+) -> List[LatencyRow]:
+    """Deprecated shim over the ``legacy_latency`` scenario."""
+    from ..runner import ExperimentSpec
+
+    spec = ExperimentSpec(
+        name="measure_legacy_switch_latency",
+        scenario="legacy_latency",
+        params={
+            "duration": duration_ps,
+            "probe_load": probe_load,
+            "switch_kwargs": switch_kwargs,
+            "seed": 0,
+            "switch_seed": 1,
+        },
+        axes={"frame_size": list(frame_sizes), "load": list(loads)},
+        timeout_s=None,
+        retries=0,
+    )
+    return [_row_from_result(LatencyRow, r) for r in _run_shim_spec(spec)]
 
 
 # ---------------------------------------------------------------------------
@@ -317,6 +447,9 @@ def measure_flowmod_latency(
     A catch-all drop rule keeps probe misses off the control channel;
     probes cycle ``n_rules`` UDP destination ports; each new rule's
     activation is the RX timestamp of the first probe it forwards.
+
+    (Already a single measurement point — registered directly as the
+    ``flowmod_latency`` scenario.)
     """
     sim = Simulator()
     profile = SwitchProfile(
@@ -426,6 +559,9 @@ def measure_forwarding_consistency(
     burst rewrites them all to OF port 3 (new). A "stale" probe is one
     the switch still delivers to the old port — counted against both the
     update start and the barrier reply.
+
+    (Already a single measurement point — registered directly as the
+    ``forwarding_consistency`` scenario.)
     """
     sim = Simulator()
     profile = SwitchProfile(
@@ -523,43 +659,71 @@ class CaptureRow:
         return self.captured / total if total else 0.0
 
 
+#: The capture reducer variants E6 compares, as spec-friendly dicts.
+CAPTURE_VARIANTS: List[Dict[str, Any]] = [
+    {"name": "full"},
+    {"name": "cut-64", "snap_bytes": 64},
+    {"name": "thin-1in8", "keep_one_in": 8},
+    {"name": "cut+thin", "snap_bytes": 64, "keep_one_in": 8},
+]
+
+
+def capture_path_point(
+    load: float,
+    variant: Optional[Dict[str, Any]] = None,
+    frame_size: int = 512,
+    duration_ps: int = ms(2),
+    dma_bandwidth_bps: float = 2 * GBPS,
+    seed: int = 0,
+) -> Tuple[CaptureRow, Extras]:
+    """One E6 point: capture completeness for one load and one reducer
+    variant (``{"name": ..., "snap_bytes": ..., "keep_one_in": ...}``)."""
+    variant = dict(variant or {"name": "full"})
+    variant_name = variant.pop("name", "custom")
+    sim = Simulator()
+    tester = OSNT(sim, root_seed=seed, dma_bandwidth_bps=dma_bandwidth_bps)
+    connect(tester.port(0), tester.port(1))
+    monitor = tester.monitor(1)
+    monitor.start_capture(**variant)
+    generator = tester.generator(0)
+    generator.load_template(udp_template(frame_size))
+    generator.set_load(load).for_duration(duration_ps)
+    generator.start()
+    sim.run()
+    pipeline = tester.device.monitor(1)
+    row = CaptureRow(
+        offered_load=load,
+        variant=variant_name,
+        offered_packets=generator.packets_sent,
+        captured=pipeline.captured,
+        dropped=pipeline.dma_drops_at_port,
+    )
+    return row, {}
+
+
 def measure_capture_path(
     loads: List[float],
     frame_size: int = 512,
     duration_ps: int = ms(2),
     dma_bandwidth_bps: float = 2 * GBPS,
 ) -> List[CaptureRow]:
-    """Capture completeness vs offered load for each reducer variant."""
-    variants = [
-        ("full", {}),
-        ("cut-64", {"snap_bytes": 64}),
-        ("thin-1in8", {"keep_one_in": 8}),
-        ("cut+thin", {"snap_bytes": 64, "keep_one_in": 8}),
-    ]
-    rows = []
-    for load in loads:
-        for variant_name, capture_kwargs in variants:
-            sim = Simulator()
-            tester = OSNT(sim, dma_bandwidth_bps=dma_bandwidth_bps)
-            connect(tester.port(0), tester.port(1))
-            monitor = tester.monitor(1)
-            monitor.start_capture(**capture_kwargs)
-            generator = tester.generator(0)
-            generator.load_template(udp_template(frame_size))
-            generator.set_load(load).for_duration(duration_ps)
-            generator.start()
-            sim.run()
-            pipeline = tester.device.monitor(1)
-            rows.append(
-                CaptureRow(
-                    offered_load=load,
-                    variant=variant_name,
-                    offered_packets=generator.packets_sent,
-                    captured=pipeline.captured,
-                    dropped=pipeline.dma_drops_at_port,
-                )
-            )
-    return rows
+    """Deprecated shim over the ``capture_path`` scenario."""
+    from ..runner import ExperimentSpec
+
+    spec = ExperimentSpec(
+        name="measure_capture_path",
+        scenario="capture_path",
+        params={
+            "frame_size": frame_size,
+            "duration": duration_ps,
+            "dma_bandwidth_bps": dma_bandwidth_bps,
+            "seed": 0,
+        },
+        axes={"load": list(loads), "variant": list(CAPTURE_VARIANTS)},
+        timeout_s=None,
+        retries=0,
+    )
+    return [_row_from_result(CaptureRow, r) for r in _run_shim_spec(spec)]
 
 
 # ---------------------------------------------------------------------------
@@ -581,52 +745,77 @@ class PlacementRow:
         return self.host_std_us / self.hw_std_us if self.hw_std_us else float("inf")
 
 
+def timestamp_placement_point(
+    load: float,
+    frame_size: int = 512,
+    duration_ps: int = ms(2),
+    dma_bandwidth_bps: float = 4 * GBPS,
+    seed: int = 0,
+    switch_seed: int = 1,
+) -> Tuple[PlacementRow, Extras]:
+    """One E7 point: hardware vs host-side latency spread at one load —
+    quantifying the "queueing noise" the MAC-side stamp eliminates."""
+    sim = Simulator()
+    switch = LegacySwitch(sim, rng=RandomStreams(switch_seed).stream("sw"))
+    bed = LegacySwitchTestbed(
+        sim, switch=switch, dma_bandwidth_bps=dma_bandwidth_bps, root_seed=seed
+    )
+    bed.teach_mac_table("02:00:00:00:00:02")
+    host_arrivals: Dict[int, int] = {}
+    bed.monitor.start_capture()
+    bed.monitor.on_packet(
+        lambda packet: host_arrivals.__setitem__(packet.packet_id, sim.now)
+    )
+    bed.generator.load_template(udp_template(frame_size))
+    bed.generator.set_load(load).embed_timestamps().for_duration(duration_ps)
+    bed.generator.start()
+    sim.run()
+    from ..osnt.generator.tx_timestamp import extract_ps
+
+    hw_samples = []
+    host_samples = []
+    for packet in bed.monitor.packets:
+        tx = extract_ps(packet.data)
+        if tx == 0:
+            continue
+        hw_samples.append(packet.rx_timestamp - tx)
+        host_samples.append(host_arrivals[packet.packet_id] - tx)
+    hw = SummaryStats.of(hw_samples)
+    host = SummaryStats.of(host_samples)
+    row = PlacementRow(
+        load=load,
+        hw_mean_us=hw.mean / 1e6,
+        hw_std_us=hw.std / 1e6,
+        host_mean_us=host.mean / 1e6,
+        host_std_us=host.std / 1e6,
+    )
+    return row, {}
+
+
 def measure_timestamp_placement(
     loads: List[float],
     frame_size: int = 512,
     duration_ps: int = ms(2),
     dma_bandwidth_bps: float = 4 * GBPS,
 ) -> List[PlacementRow]:
-    """Latency through a switch, measured with hardware RX timestamps vs
-    host-arrival times — quantifying the "queueing noise" the MAC-side
-    stamp eliminates."""
-    rows = []
-    for load in loads:
-        sim = Simulator()
-        switch = LegacySwitch(sim, rng=RandomStreams(1).stream("sw"))
-        bed = LegacySwitchTestbed(sim, switch=switch, dma_bandwidth_bps=dma_bandwidth_bps)
-        bed.teach_mac_table("02:00:00:00:00:02")
-        host_arrivals: Dict[int, int] = {}
-        bed.monitor.start_capture()
-        bed.monitor.on_packet(
-            lambda packet: host_arrivals.__setitem__(packet.packet_id, sim.now)
-        )
-        bed.generator.load_template(udp_template(frame_size))
-        bed.generator.set_load(load).embed_timestamps().for_duration(duration_ps)
-        bed.generator.start()
-        sim.run()
-        from ..osnt.generator.tx_timestamp import extract_ps
+    """Deprecated shim over the ``timestamp_placement`` scenario."""
+    from ..runner import ExperimentSpec
 
-        hw_samples = []
-        host_samples = []
-        for packet in bed.monitor.packets:
-            tx = extract_ps(packet.data)
-            if tx == 0:
-                continue
-            hw_samples.append(packet.rx_timestamp - tx)
-            host_samples.append(host_arrivals[packet.packet_id] - tx)
-        hw = SummaryStats.of(hw_samples)
-        host = SummaryStats.of(host_samples)
-        rows.append(
-            PlacementRow(
-                load=load,
-                hw_mean_us=hw.mean / 1e6,
-                hw_std_us=hw.std / 1e6,
-                host_mean_us=host.mean / 1e6,
-                host_std_us=host.std / 1e6,
-            )
-        )
-    return rows
+    spec = ExperimentSpec(
+        name="measure_timestamp_placement",
+        scenario="timestamp_placement",
+        params={
+            "frame_size": frame_size,
+            "duration": duration_ps,
+            "dma_bandwidth_bps": dma_bandwidth_bps,
+            "seed": 0,
+            "switch_seed": 1,
+        },
+        axes={"load": list(loads)},
+        timeout_s=None,
+        retries=0,
+    )
+    return [_row_from_result(PlacementRow, r) for r in _run_shim_spec(spec)]
 
 
 # ---------------------------------------------------------------------------
@@ -645,61 +834,83 @@ class RouterLatencyRow:
     no_route: int
 
 
+def router_latency_point(
+    prefix_len: int,
+    fib_fill: int = 1000,
+    frame_size: int = 256,
+    duration_ps: int = ms(1),
+    seed: int = 0,
+) -> Tuple[RouterLatencyRow, Extras]:
+    """One E9 point: forwarding latency at one matched-prefix depth.
+
+    The FIB is filled with ``fib_fill`` filler routes plus one route of
+    the probed prefix length; probes hit that route, so the latency
+    reflects the LPM walk depth — the router-specific effect a tester
+    can resolve thanks to sub-µs timestamping.
+    """
+    from ..devices.router import Router
+
+    sim = Simulator()
+    router = Router(sim)
+    tester = OSNT(sim, root_seed=seed)
+    connect(tester.port(0), router.port(0))
+    connect(tester.port(1), router.port(1))
+    # Filler routes across a disjoint space (192.0.0.0/10 region).
+    for index in range(fib_fill):
+        router.add_route(
+            f"192.{(index >> 8) & 0x3F}.{index & 0xFF}.0/24",
+            out_port=2,
+            next_hop_mac="02:aa:00:00:00:ff",
+        )
+    # The measured route: covers the probe address at the probed
+    # length (the trie consumes only the first prefix_len bits).
+    router.add_route(
+        f"10.0.0.1/{prefix_len}", out_port=1, next_hop_mac="02:aa:00:00:00:01"
+    )
+    monitor = tester.monitor(1)
+    monitor.start_capture()
+    generator = tester.generator(0)
+    generator.load_template(udp_template(frame_size, dst_ip="10.0.0.1"))
+    generator.set_load(0.2).embed_timestamps().for_duration(duration_ps)
+    generator.start()
+    sim.run()
+    result = latency_from_capture(monitor.packets)
+    summary = result.summary
+    row = RouterLatencyRow(
+        fib_routes=router.fib.size,
+        prefix_len=prefix_len,
+        packets=summary.count,
+        mean_us=summary.mean / 1e6,
+        p99_us=summary.p99 / 1e6,
+        forwarded=router.forwarded,
+        no_route=router.no_route,
+    )
+    return row, {}
+
+
 def measure_router_latency(
     prefix_lens: List[int],
     fib_fill: int = 1000,
     frame_size: int = 256,
     duration_ps: int = ms(1),
 ) -> List[RouterLatencyRow]:
-    """Router DUT: forwarding latency vs matched-prefix depth.
+    """Deprecated shim over the ``router_latency`` scenario."""
+    from ..runner import ExperimentSpec
 
-    The FIB is filled with ``fib_fill`` filler routes plus one route of
-    each probed prefix length; probes hit that route, so the latency
-    reflects the LPM walk depth — the router-specific effect a tester
-    can resolve thanks to sub-µs timestamping.
-    """
-    from ..devices.router import Router
-
-    rows = []
-    for prefix_len in prefix_lens:
-        sim = Simulator()
-        router = Router(sim)
-        tester = OSNT(sim)
-        connect(tester.port(0), router.port(0))
-        connect(tester.port(1), router.port(1))
-        # Filler routes across a disjoint space (192.0.0.0/10 region).
-        for index in range(fib_fill):
-            router.add_route(
-                f"192.{(index >> 8) & 0x3F}.{index & 0xFF}.0/24",
-                out_port=2,
-                next_hop_mac="02:aa:00:00:00:ff",
-            )
-        # The measured route: covers the probe address at the probed
-        # length (the trie consumes only the first prefix_len bits).
-        router.add_route(
-            f"10.0.0.1/{prefix_len}", out_port=1, next_hop_mac="02:aa:00:00:00:01"
-        )
-        monitor = tester.monitor(1)
-        monitor.start_capture()
-        generator = tester.generator(0)
-        generator.load_template(udp_template(frame_size, dst_ip="10.0.0.1"))
-        generator.set_load(0.2).embed_timestamps().for_duration(duration_ps)
-        generator.start()
-        sim.run()
-        result = latency_from_capture(monitor.packets)
-        summary = result.summary
-        rows.append(
-            RouterLatencyRow(
-                fib_routes=router.fib.size,
-                prefix_len=prefix_len,
-                packets=summary.count,
-                mean_us=summary.mean / 1e6,
-                p99_us=summary.p99 / 1e6,
-                forwarded=router.forwarded,
-                no_route=router.no_route,
-            )
-        )
-    return rows
+    spec = ExperimentSpec(
+        name="measure_router_latency",
+        scenario="router_latency",
+        params={
+            "fib_fill": fib_fill,
+            "frame_size": frame_size,
+            "duration": duration_ps,
+            "seed": 0,
+        },
+        axes={"prefix_len": list(prefix_lens)},
+        timeout_s=None,
+        retries=0,
+    )
+    return [_row_from_result(RouterLatencyRow, r) for r in _run_shim_spec(spec)]
 
 
 # ---------------------------------------------------------------------------
@@ -715,13 +926,15 @@ class ImixLatencyRow:
     p99_us: float
 
 
-def measure_imix_latency(
+def imix_latency_point(
     load: float = 0.5,
     duration_ps: int = ms(2),
     switch_kwargs: Optional[dict] = None,
-) -> List[ImixLatencyRow]:
-    """Demo Part I with realistic traffic: one IMIX stream through the
-    switch, latency classified per frame size from the single capture.
+    seed: int = 0,
+    switch_seed: int = 1,
+) -> Tuple[List[ImixLatencyRow], Extras]:
+    """One E3b run: one IMIX stream through the switch, latency
+    classified per frame size from the single capture.
 
     This is the measurement style hardware testers enable: because every
     captured packet carries its own embedded TX stamp, one mixed-traffic
@@ -733,9 +946,9 @@ def measure_imix_latency(
 
     sim = Simulator()
     switch = LegacySwitch(
-        sim, rng=RandomStreams(1).stream("sw"), **(switch_kwargs or {})
+        sim, rng=RandomStreams(switch_seed).stream("sw"), **(switch_kwargs or {})
     )
-    bed = LegacySwitchTestbed(sim, switch=switch)
+    bed = LegacySwitchTestbed(sim, switch=switch, root_seed=seed)
     bed.teach_mac_table("02:00:00:00:00:02")
     bed.monitor.start_capture()
     packets = [udp_template(size) for size in IMIX_PATTERN]
@@ -767,4 +980,29 @@ def measure_imix_latency(
                 p99_us=summary.p99 / 1e6,
             )
         )
-    return rows
+    return rows, {}
+
+
+def measure_imix_latency(
+    load: float = 0.5,
+    duration_ps: int = ms(2),
+    switch_kwargs: Optional[dict] = None,
+) -> List[ImixLatencyRow]:
+    """Deprecated shim over the ``imix_latency`` scenario."""
+    from ..runner import ExperimentSpec
+
+    spec = ExperimentSpec(
+        name="measure_imix_latency",
+        scenario="imix_latency",
+        params={
+            "load": load,
+            "duration": duration_ps,
+            "switch_kwargs": switch_kwargs,
+            "seed": 0,
+            "switch_seed": 1,
+        },
+        timeout_s=None,
+        retries=0,
+    )
+    (result,) = _run_shim_spec(spec)
+    return [_row_from_result(ImixLatencyRow, r) for r in result["rows"]]

@@ -59,6 +59,78 @@ def to_us(ps: int) -> float:
     return ps / PS_PER_US
 
 
+_DURATION_RE = re.compile(
+    r"""^\s*(?P<num>\d+(?:\.\d+)?)\s*
+        (?P<unit>ps|ns|us|µs|ms|s|sec|seconds?)\s*$""",
+    re.IGNORECASE | re.VERBOSE,
+)
+
+_DURATION_MULTIPLIERS = {
+    "ps": 1,
+    "ns": PS_PER_NS,
+    "us": PS_PER_US,
+    "µs": PS_PER_US,
+    "ms": PS_PER_MS,
+    "s": PS_PER_SEC,
+    "sec": PS_PER_SEC,
+    "second": PS_PER_SEC,
+    "seconds": PS_PER_SEC,
+}
+
+
+def parse_duration(text: str) -> int:
+    """Parse a human duration string such as ``"10ms"`` or ``"2.5 us"``.
+
+    Returns integer picoseconds. The unit is required (a bare number is
+    ambiguous). Raises :class:`ConfigError` (a ``ValueError``) on bad
+    input.
+    """
+    match = _DURATION_RE.match(text)
+    if match is None:
+        raise ConfigError(
+            f"unparseable duration: {text!r} (expected e.g. '10ms', '2.5us', '1s')"
+        )
+    multiplier = _DURATION_MULTIPLIERS[match.group("unit").lower()]
+    return round(float(match.group("num")) * multiplier)
+
+
+def duration_ps(value) -> int:
+    """Coerce a duration given as ps (int/float) or a string to int ps.
+
+    The one accepted duration-argument format across the API:
+    ``for_duration``, workload builders and :class:`ExperimentSpec`
+    params all funnel through here. Strings need a unit (``"10ms"``);
+    numbers are taken as picoseconds. Raises :class:`ConfigError` (a
+    ``ValueError``) on malformed or negative input.
+    """
+    if isinstance(value, str):
+        return parse_duration(value)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigError(f"duration must be a number of ps or a string, got {value!r}")
+    if value < 0:
+        raise ConfigError(f"duration must be non-negative, got {value!r}")
+    return round(value)
+
+
+def rate_bps(value) -> float:
+    """Coerce a rate given as bits/second (number) or a string to bps.
+
+    The one accepted rate-argument format across the API: ``set_rate``,
+    workload builders and :class:`ExperimentSpec` params all funnel
+    through here. Raises :class:`ConfigError` (a ``ValueError``) on
+    malformed or non-positive input.
+    """
+    if isinstance(value, str):
+        parsed = parse_rate(value)
+    elif isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigError(f"rate must be bits/second or a string, got {value!r}")
+    else:
+        parsed = float(value)
+    if parsed <= 0:
+        raise ConfigError(f"rate must be positive, got {value!r}")
+    return parsed
+
+
 # -- rates -----------------------------------------------------------------
 
 KBPS = 1_000

@@ -178,3 +178,116 @@ class TestDutPresets:
         assert set(PROFILES) == {"soft-switch", "hw-fast-cpu", "hw-slow-cpu", "hw-eager"}
         assert PROFILES["hw-eager"].barrier_mode == "eager"
         assert PROFILES["soft-switch"].table_write_ps < PROFILES["hw-fast-cpu"].table_write_ps
+
+
+class TestOsntSweepCli:
+    def _write_spec(self, tmp_path, **overrides):
+        import json
+
+        spec = {
+            "name": "cli-sweep",
+            "scenario": "echo",
+            "axes": {"x": [1, 2, 3]},
+            "retries": 0,
+            "timeout_s": 30.0,
+        }
+        spec.update(overrides)
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec))
+        return path
+
+    def test_run_inline(self, tmp_path, capsys):
+        from repro.runner.cli import main as sweep_main
+
+        path = self._write_spec(tmp_path)
+        assert sweep_main(["run", str(path), "--workers", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "cli-sweep" in out and "3 ok" in out
+
+    def test_run_with_workers_and_report_file(self, tmp_path, capsys):
+        import json
+
+        from repro.runner.cli import main as sweep_main
+
+        path = self._write_spec(tmp_path)
+        report_path = tmp_path / "report.json"
+        assert (
+            sweep_main(
+                ["run", str(path), "--workers", "2", "--json", str(report_path)]
+            )
+            == 0
+        )
+        document = json.loads(report_path.read_text())
+        assert len(document["merged"]["shards"]) == 3
+
+    def test_run_resumes_from_checkpoints(self, tmp_path, capsys):
+        from repro.runner.cli import main as sweep_main
+
+        path = self._write_spec(tmp_path)
+        ckpt = tmp_path / "ckpt"
+        args = ["run", str(path), "--workers", "0", "--checkpoint", str(ckpt)]
+        assert sweep_main(args + ["--max-shards", "1"]) == 0
+        assert sweep_main(args) == 0
+        out = capsys.readouterr().out
+        assert "from checkpoint" in out
+
+    def test_failed_shards_exit_nonzero(self, tmp_path, capsys):
+        import json
+
+        from repro.runner.cli import main as sweep_main
+
+        path = tmp_path / "spec.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "cli-flaky",
+                    "scenario": "flaky_marker",
+                    "params": {"marker": str(tmp_path / "missing" / "dir" / "m")},
+                    "retries": 0,
+                    "timeout_s": 30.0,
+                }
+            )
+        )
+        assert sweep_main(["run", str(path), "--workers", "1"]) == 1
+        assert "failed" in capsys.readouterr().err
+
+    def test_bad_spec_exits_two(self, tmp_path, capsys):
+        from repro.runner.cli import main as sweep_main
+
+        path = tmp_path / "bad.json"
+        path.write_text('{"name": "x"}')
+        assert sweep_main(["run", str(path)]) == 2
+        assert "osnt-sweep:" in capsys.readouterr().err
+        assert sweep_main(["run", str(tmp_path / "absent.json")]) == 2
+
+    def test_expand_lists_shards(self, tmp_path, capsys):
+        from repro.runner.cli import main as sweep_main
+
+        path = self._write_spec(tmp_path)
+        assert sweep_main(["expand", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "3 shard(s)" in out
+
+    def test_scenarios_listing(self, capsys):
+        from repro.runner.cli import main as sweep_main
+
+        assert sweep_main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "line_rate" in out and "rfc2544" in out
+
+    def test_example_round_trips(self, capsys):
+        from repro.runner import ExperimentSpec
+        from repro.runner.cli import main as sweep_main
+
+        assert sweep_main(["example"]) == 0
+        spec = ExperimentSpec.from_json(capsys.readouterr().out)
+        assert spec.scenario == "legacy_latency"
+
+    def test_oflops_spec_flag_round_trips(self, capsys):
+        from repro.oflops.cli import main as oflops_main
+        from repro.runner import ExperimentSpec
+
+        assert oflops_main(["echo_latency", "--spec"]) == 0
+        spec = ExperimentSpec.from_json(capsys.readouterr().out)
+        assert spec.scenario == "oflops"
+        assert spec.axes == {"module": ["echo_latency"]}

@@ -343,3 +343,115 @@ class TestRegisterDrivenControl:
         assert device.monitor(1).cutter.snap_bytes == 64
         device.bus.write32(base + 0x4, 0)
         assert device.monitor(1).cutter.snap_bytes is None
+
+
+class TestContextManagers:
+    """`with` protocol on OSNT, TrafficGenerator and TrafficMonitor."""
+
+    def test_generator_starts_and_stops(self):
+        sim = Simulator()
+        tester = loopback_tester(sim)
+        gen = tester.generator(0)
+        gen.load_template(build_udp(frame_size=256), count=25).set_load(0.5)
+        with gen:
+            assert gen.running
+            sim.run()
+        assert not gen.running
+        assert gen.packets_sent == 25
+
+    def test_start_returns_self_for_chaining(self):
+        sim = Simulator()
+        tester = loopback_tester(sim)
+        gen = tester.generator(0)
+        assert gen.load_template(build_udp(frame_size=64), count=1).start() is gen
+        sim.run()
+
+    def test_generator_enter_requires_loaded_source(self):
+        sim = Simulator()
+        tester = loopback_tester(sim)
+        with pytest.raises(GeneratorError):
+            with tester.generator(0):
+                pass
+
+    def test_monitor_capture_window(self):
+        sim = Simulator()
+        tester = loopback_tester(sim)
+        mon = tester.monitor(1)
+        gen = tester.generator(0)
+        gen.load_template(build_udp(frame_size=128), count=10)
+        with mon.start_capture(snap_bytes=64):
+            assert mon.capturing
+            gen.start()
+            sim.run()
+        assert not mon.capturing
+        assert mon.captured_count == 10
+        # Packets arriving after the window closes are not captured.
+        gen2 = tester.generator(0)
+        gen2.load_template(build_udp(frame_size=128), count=5)
+        gen2.start()
+        sim.run()
+        assert mon.captured_count == 10
+
+    def test_osnt_capture_context(self):
+        sim = Simulator()
+        tester = loopback_tester(sim)
+        gen = tester.generator(0)
+        gen.load_template(build_udp(frame_size=512), count=8)
+        with tester.capture(1, snap_bytes=64) as mon:
+            gen.start()
+            sim.run()
+        assert not mon.capturing
+        assert len(mon.packets) == 8
+        assert all(p.capture_length == 64 for p in mon.packets)
+
+    def test_capture_stops_on_exception(self):
+        sim = Simulator()
+        tester = loopback_tester(sim)
+        with pytest.raises(RuntimeError, match="boom"):
+            with tester.capture(1) as mon:
+                raise RuntimeError("boom")
+        assert not mon.capturing
+
+    def test_osnt_shutdown_quiesces_everything(self):
+        sim = Simulator()
+        with loopback_tester(sim) as tester:
+            gen = tester.generator(0)
+            gen.load_template(build_udp(frame_size=128)).set_load(0.1)
+            gen.for_duration(ms(5))
+            gen.start()
+            tester.monitor(1).start_capture()
+            sim.run(until=us(10))
+            assert gen.running and tester.monitor(1).capturing
+        assert not gen.running
+        assert not tester.monitor(1).capturing
+
+    def test_duration_and_rate_strings(self):
+        # Satellite: one parsing path for "9.5Gbps" / "10us" strings.
+        sim = Simulator()
+        tester = loopback_tester(sim)
+        gen = tester.generator(0)
+        gen.load_template(build_udp(frame_size=512))
+        gen.set_rate("9.5Gbps").for_duration("10us")
+        with tester.capture(1) as mon:
+            with gen:
+                sim.run()
+        # ~10us at 9.5 Gbps of 512B frames ≈ 23 packets.
+        assert 20 <= len(mon.packets) <= 25
+        with pytest.raises(ValueError):
+            gen.set_rate("warp speed")
+        with pytest.raises(ValueError):
+            gen.for_duration("10 parsecs")
+
+    def test_set_gap_accepts_strings(self):
+        sim = Simulator()
+        tester = loopback_tester(sim)
+        gen = tester.generator(0)
+        gen.load_template(build_udp(frame_size=64), count=3).set_gap("2us")
+        with tester.capture(1) as mon:
+            with gen:
+                sim.run()
+        gaps = [
+            b.rx_timestamp - a.rx_timestamp
+            for a, b in zip(mon.packets, mon.packets[1:])
+        ]
+        assert all(abs(gap - us(2)) < us(1) for gap in gaps)

@@ -63,6 +63,56 @@ class TestRates:
         assert units.wire_time_ps(nbytes, units.TEN_GBPS) == nbytes * 800
 
 
+class TestDurationParsing:
+    def test_parse_all_units(self):
+        assert units.parse_duration("10ps") == 10
+        assert units.parse_duration("1ns") == 1_000
+        assert units.parse_duration("2.5us") == 2_500_000
+        assert units.parse_duration("2.5µs") == 2_500_000
+        assert units.parse_duration("10ms") == units.ms(10)
+        assert units.parse_duration("1s") == units.seconds(1)
+        assert units.parse_duration("3 sec") == units.seconds(3)
+        assert units.parse_duration("2 seconds") == units.seconds(2)
+
+    def test_parse_is_case_insensitive_and_tolerates_spaces(self):
+        assert units.parse_duration(" 10 MS ") == units.ms(10)
+
+    def test_bare_numbers_rejected_as_ambiguous(self):
+        with pytest.raises(ConfigError):
+            units.parse_duration("100")
+
+    def test_garbage_rejected_with_value_error(self):
+        for bad in ("", "soon", "10 lightyears", "-5ms"):
+            with pytest.raises(ValueError):  # ConfigError is a ValueError
+                units.parse_duration(bad)
+
+    def test_duration_ps_coerces_numbers_and_strings(self):
+        assert units.duration_ps("10ms") == units.ms(10)
+        assert units.duration_ps(1_000) == 1_000
+        assert units.duration_ps(1500.4) == 1500
+
+    def test_duration_ps_rejects_bad_input(self):
+        for bad in (-1, True, None, [1]):
+            with pytest.raises(ConfigError):
+                units.duration_ps(bad)
+
+    @given(st.floats(min_value=0.001, max_value=1e6))
+    def test_parse_matches_ms_helper(self, value):
+        assert units.parse_duration(f"{value}ms") == units.ms(value)
+
+
+class TestRateCoercion:
+    def test_rate_bps_coerces_numbers_and_strings(self):
+        assert units.rate_bps("9.5Gbps") == 9.5 * units.GBPS
+        assert units.rate_bps(1e9) == 1e9
+        assert units.rate_bps(250) == 250.0
+
+    def test_rate_bps_rejects_bad_input(self):
+        for bad in (0, -5, True, None, "fast"):
+            with pytest.raises(ValueError):  # ConfigError is a ValueError
+                units.rate_bps(bad)
+
+
 class TestWireTimeExactness:
     """wire_time_ps must stay exact for integral rates.
 
