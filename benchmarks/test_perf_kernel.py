@@ -189,7 +189,7 @@ def test_perf_full_tester_capture_path(benchmark):
         tester = OSNT(sim)
         connect(tester.port(0), tester.port(1))
         monitor = tester.monitor(1)
-        monitor.start_capture(snap_bytes=64)
+        monitor.start_capture(snaplen=64)
         generator = tester.generator(0)
         generator.load_template(udp_template(512))
         generator.set_load(0.5).embed_timestamps().for_duration(ms(1))

@@ -57,11 +57,11 @@ def run_variant(description: str, configure) -> list:
 def main() -> None:
     rows = [
         run_variant("no reduction", lambda m: m.start_capture()),
-        run_variant("cut to 64B", lambda m: m.start_capture(snap_bytes=64)),
+        run_variant("cut to 64B", lambda m: m.start_capture(snaplen=64)),
         run_variant("thin 1-in-8", lambda m: m.start_capture(keep_one_in=8)),
         run_variant(
             "cut + thin + hash",
-            lambda m: m.start_capture(snap_bytes=64, keep_one_in=8, hash_packets=True),
+            lambda m: m.start_capture(snaplen=64, keep_one_in=8, hash_packets=True),
         ),
         run_variant(
             "filter dst-port 53",
@@ -79,7 +79,7 @@ def main() -> None:
     tester = OSNT(sim)
     connect(tester.port(0), tester.port(1))
     monitor = tester.monitor(1)
-    monitor.start_capture(snap_bytes=64, hash_packets=True)
+    monitor.start_capture(snaplen=64, hash_packets=True)
     generator = tester.generator(0)
     generator.load_template(build_udp(frame_size=1518), count=1)
     generator.start()

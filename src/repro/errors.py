@@ -73,5 +73,9 @@ class SweepError(ReproError):
     """An experiment sweep could not be expanded, executed or resumed."""
 
 
+class FaultError(ReproError):
+    """A fault-injection spec was invalid or could not be attached."""
+
+
 class SnmpError(ReproError):
     """An SNMP request named an unknown OID or used a bad operation."""

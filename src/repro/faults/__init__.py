@@ -1,0 +1,26 @@
+"""repro.faults — deterministic fault injection for the simulated tester.
+
+One declarative :class:`ImpairmentSpec` (Python / dict / JSON, like
+:class:`~repro.runner.ExperimentSpec`) names the fault models to attach
+to a testbed's links, DMA engines, clocks and control channels; a
+:class:`FaultInjector` binds the spec to live components and schedules
+the impairment windows on the simulator. Same seed → bit-identical
+impairment timeline, at any worker count.
+
+See ``docs/FAULTS.md`` for the spec schema, the model catalogue and the
+determinism guarantees, and ``examples/faults_tour.py`` for a guided
+tour.
+"""
+
+from .injector import FaultInjector
+from .models import FAULT_MODELS, FaultModel, fault_model
+from .spec import FaultSpec, ImpairmentSpec
+
+__all__ = [
+    "FAULT_MODELS",
+    "FaultInjector",
+    "FaultModel",
+    "FaultSpec",
+    "ImpairmentSpec",
+    "fault_model",
+]

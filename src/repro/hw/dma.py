@@ -65,6 +65,10 @@ class DmaEngine:
         self.on_host_deliver: Optional[Callable[[Packet], None]] = None
         self._ring: Deque[Packet] = deque()
         self._busy = False
+        #: Fault hooks (:mod:`repro.faults`): drain pauses until this
+        #: instant, and an optional clamp on the usable ring depth.
+        self._stalled_until = 0
+        self._slot_clamp: Optional[int] = None
 
     def register_metrics(self, registry, prefix: str) -> None:
         """Publish the DMA's counters and ring state as pull gauges."""
@@ -77,9 +81,40 @@ class DmaEngine:
         registry.gauge(f"{prefix}.ring_occupancy", lambda: len(self._ring))
         registry.gauge(f"{prefix}.ring_slots", lambda: self.ring_slots)
 
+    def stall_for(self, duration_ps: int) -> None:
+        """Pause draining for ``duration_ps`` (fault injection).
+
+        A transfer already in flight completes; the *next* transfer
+        start is gated. Overlapping stalls extend, never shorten, the
+        pause. The ring keeps accepting packets meanwhile, so a long
+        enough stall surfaces as counted tail drops — loss stays
+        explicit, exactly like genuine host backpressure.
+        """
+        if duration_ps < 0:
+            raise ConfigError(f"{self.name}: stall duration must be >= 0")
+        resume = self.sim.now + duration_ps
+        if resume > self._stalled_until:
+            self._stalled_until = resume
+
+    def set_slot_clamp(self, slots: Optional[int]) -> None:
+        """Clamp the usable ring depth (``None`` removes the clamp)."""
+        if slots is not None and slots < 1:
+            raise ConfigError(f"{self.name}: clamp must leave at least one slot")
+        self._slot_clamp = slots
+
+    @property
+    def effective_ring_slots(self) -> int:
+        if self._slot_clamp is None:
+            return self.ring_slots
+        return min(self.ring_slots, self._slot_clamp)
+
     def enqueue(self, packet: Packet) -> bool:
         """Hand a captured packet to the DMA; False if the ring is full."""
-        if len(self._ring) >= self.ring_slots:
+        clamp = self._slot_clamp
+        limit = self.ring_slots if clamp is None else (
+            clamp if clamp < self.ring_slots else self.ring_slots
+        )
+        if len(self._ring) >= limit:
             nbytes = self._transfer_bytes(packet)
             self.stats.dropped += 1
             self.stats.dropped_bytes += nbytes
@@ -110,6 +145,9 @@ class DmaEngine:
             self._busy = False
             return
         self._busy = True
+        if self.sim.now < self._stalled_until:
+            self.sim.call_at(self._stalled_until, self._start_next)
+            return
         packet = self._ring[0]
         transfer_ps = wire_time_ps(self._transfer_bytes(packet), self.bandwidth_bps)
         self.sim.call_after(transfer_ps, self._complete)

@@ -30,6 +30,12 @@ class MacStats:
     packets: int = 0
     bytes: int = 0  # frame bytes incl. FCS (what rate maths use)
     errors: int = 0
+    #: Frames lost to genuine FIFO exhaustion (tail drop under load).
+    drops_overflow: int = 0
+    #: Frames removed on purpose by a fault model (:mod:`repro.faults`).
+    #: Kept apart from ``drops_overflow`` so an injected-loss experiment
+    #: can still prove the un-impaired path itself lost nothing.
+    drops_injected: int = 0
     #: Time the serializer was busy (TX only), for utilisation maths.
     busy_ps: int = 0
     first_activity_ps: Optional[int] = None
@@ -47,6 +53,8 @@ class MacStats:
         registry.gauge(f"{prefix}.packets", lambda: self.packets)
         registry.gauge(f"{prefix}.bytes", lambda: self.bytes)
         registry.gauge(f"{prefix}.errors", lambda: self.errors)
+        registry.gauge(f"{prefix}.drops.overflow", lambda: self.drops_overflow)
+        registry.gauge(f"{prefix}.drops.injected", lambda: self.drops_injected)
         registry.gauge(f"{prefix}.busy_ps", lambda: self.busy_ps)
 
 
@@ -87,6 +95,7 @@ class TxMac:
     def enqueue(self, packet: Packet) -> bool:
         """Stage a frame for transmission; False if the FIFO tail-drops."""
         if not self.fifo.push(packet):
+            self.stats.drops_overflow += 1
             return False
         if not self._busy:
             self._start_next()

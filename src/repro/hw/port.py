@@ -14,6 +14,9 @@ from .mac import RxMac, TxMac
 #: Default propagation delay: ~1 m of fibre.
 DEFAULT_PROPAGATION_PS = ns(5)
 
+#: Sentinel an impairment hook returns to drop the frame on the wire.
+DROP_FRAME = object()
+
 
 class EthernetPort:
     """A full-duplex port: one :class:`TxMac` plus one :class:`RxMac`."""
@@ -79,21 +82,47 @@ class Link:
         self.bit_error_rate = bit_error_rate
         self._rng = rng or random.Random(0)
         self.frames_corrupted = 0
+        self._impairments: list = []
         port_a.tx.attach_delivery(self._make_deliver(port_b), propagation_ps)
         port_b.tx.attach_delivery(self._make_deliver(port_a), propagation_ps)
         port_a.link = self
         port_b.link = self
 
-    def _make_deliver(self, destination: EthernetPort) -> Callable[[Packet], None]:
-        if self.bit_error_rate == 0.0:
-            return destination.rx.receive
+    def add_impairment(
+        self, hook: Callable[[Packet, EthernetPort], Optional[int]]
+    ) -> None:
+        """Attach a per-frame fault hook (see :mod:`repro.faults`).
 
+        The hook is called as ``hook(packet, destination_port)`` for
+        every frame crossing the link, in either direction. Its verdict:
+        ``None`` delivers normally, :data:`DROP_FRAME` loses the frame,
+        and a positive integer delivers it after that many extra
+        picoseconds (jitter/reordering). The first non-``None`` verdict
+        wins. With no hooks attached the delivery path is unchanged.
+        """
+        self._impairments.append(hook)
+
+    def _make_deliver(self, destination: EthernetPort) -> Callable[[Packet], None]:
         def deliver(packet: Packet) -> None:
-            bits = packet.frame_length * 8
-            if self._rng.random() < 1.0 - (1.0 - self.bit_error_rate) ** bits:
-                self.frames_corrupted += 1
-                destination.rx.stats.errors += 1
-                return  # FCS check fails; the MAC never delivers it
+            if self._impairments:
+                for hook in self._impairments:
+                    verdict = hook(packet, destination)
+                    if verdict is None:
+                        continue
+                    if verdict is DROP_FRAME:
+                        return  # lost on the wire
+                    if verdict > 0:
+                        destination.rx.sim.call_after(
+                            verdict, destination.rx.receive, packet
+                        )
+                        return
+                    break  # zero extra delay: deliver in order, now
+            if self.bit_error_rate:
+                bits = packet.frame_length * 8
+                if self._rng.random() < 1.0 - (1.0 - self.bit_error_rate) ** bits:
+                    self.frames_corrupted += 1
+                    destination.rx.stats.errors += 1
+                    return  # FCS check fails; the MAC never delivers it
             destination.rx.receive(packet)
 
         return deliver

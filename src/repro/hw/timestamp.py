@@ -43,12 +43,31 @@ class TimestampUnit:
     def __init__(self, sim: Simulator, oscillator: Optional[Oscillator] = None) -> None:
         self.sim = sim
         self.oscillator = oscillator
+        self._frozen_at: Optional[int] = None
 
-    def device_time_ps(self) -> int:
-        """Unquantised device-clock reading at the current instant."""
+    def freeze(self) -> None:
+        """Latch the counter (fault injection): every read returns the
+        value at the instant of the freeze until :meth:`unfreeze`."""
+        if self._frozen_at is None:
+            self._frozen_at = self._read()
+
+    def unfreeze(self) -> None:
+        self._frozen_at = None
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen_at is not None
+
+    def _read(self) -> int:
         if self.oscillator is not None:
             return self.oscillator.device_time()
         return self.sim.now
+
+    def device_time_ps(self) -> int:
+        """Unquantised device-clock reading at the current instant."""
+        if self._frozen_at is not None:
+            return self._frozen_at
+        return self._read()
 
     def now_ps(self) -> int:
         """Quantised device time: floor to the last 6.25 ns tick."""

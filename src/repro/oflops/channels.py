@@ -14,8 +14,9 @@ bookkeeping a module needs:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..devices.snmp_agent import (
     OID_IF_IN_UCAST,
@@ -54,6 +55,87 @@ class TimedMessage:
     message: Message
 
 
+#: Decoders that build a ChannelEvent payload dict per message class.
+_EVENT_PAYLOADS = {
+    PacketIn: lambda m: {
+        "buffer_id": m.buffer_id,
+        "total_len": m.total_len,
+        "in_port": m.in_port,
+        "reason": m.reason,
+        "data_len": len(m.data),
+    },
+    ErrorMsg: lambda m: {
+        "err_type": m.err_type,
+        "err_code": m.err_code,
+        "data_len": len(m.data),
+    },
+    FlowRemoved: lambda m: {
+        "reason": m.reason,
+        "priority": m.priority,
+        "packet_count": m.packet_count,
+        "byte_count": m.byte_count,
+        "duration_sec": m.duration_sec,
+    },
+    EchoReply: lambda m: {"payload_len": len(m.payload)},
+    StatsReply: lambda m: {
+        "stats_type": m.stats_type,
+        "flags": m.flags,
+        "body_len": len(m.reply_body),
+    },
+    FeaturesReply: lambda m: {
+        "datapath_id": m.datapath_id,
+        "n_buffers": m.n_buffers,
+        "n_tables": m.n_tables,
+        "capabilities": m.capabilities,
+    },
+}
+
+
+def _event_kind(message: Message) -> str:
+    """Stable snake_case kind name: ``PacketIn`` → ``packet_in``."""
+    name = type(message).__name__
+    out = [name[0].lower()]
+    for ch in name[1:]:
+        if ch.isupper():
+            out.append("_")
+            out.append(ch.lower())
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+@dataclass
+class ChannelEvent:
+    """Typed view of one received control-plane message.
+
+    This is the supported way for measurement modules to inspect the
+    control timeline: a stable ``kind`` string (``"packet_in"``,
+    ``"error_msg"``, ``"flow_removed"``, ...), the arrival time, the
+    message ``xid`` and a decoded ``payload`` dict of the fields a
+    module actually reads. The raw :class:`~repro.openflow.messages.Message`
+    stays reachable via :attr:`message` for anything exotic.
+    """
+
+    timestamp_ps: int
+    kind: str
+    xid: int
+    payload: Dict[str, Any]
+    message: Message
+
+    @classmethod
+    def from_timed(cls, timed: TimedMessage) -> "ChannelEvent":
+        message = timed.message
+        decode = _EVENT_PAYLOADS.get(type(message))
+        payload = decode(message) if decode is not None else {}
+        return cls(
+            timestamp_ps=timed.time_ps,
+            kind=_event_kind(message),
+            xid=message.xid,
+            payload=payload,
+            message=message,
+        )
+
+
 class ControlChannelHandle:
     """The controller side of the OpenFlow session, instrumented."""
 
@@ -66,6 +148,9 @@ class ControlChannelHandle:
         self.send_times: Dict[int, int] = {}
         self.reply_times: Dict[int, int] = {}
         self._listeners: List[Callable[[Message], None]] = []
+        #: Barrier resends performed by :meth:`sync_barrier` across this
+        #: handle's lifetime (0 on a healthy channel).
+        self.retry_count = 0
 
     def add_listener(self, listener: Callable[[Message], None]) -> None:
         self._listeners.append(listener)
@@ -132,6 +217,37 @@ class ControlChannelHandle:
     def request_stats(self, stats_type: int, body: bytes = b"") -> int:
         return self._send(StatsRequest(stats_type=stats_type, request_body=body))
 
+    def sync_barrier(
+        self,
+        run_for: Callable[[int], None],
+        timeout_ps: int,
+        retries: int = 0,
+    ) -> Optional[int]:
+        """Send a barrier and wait for its reply, with bounded resends.
+
+        ``run_for(duration_ps)`` advances the simulation (modules pass
+        ``ctx.run_for``). One barrier is sent and the sim runs for
+        ``timeout_ps``; if the reply never lands (e.g. the request died
+        on a flapped channel) up to ``retries`` fresh barriers follow,
+        each with its own timeout. Returns the RTT (ps) of the first
+        answered barrier, or ``None`` if every attempt timed out —
+        callers degrade explicitly instead of crashing. Resends are
+        counted in :attr:`retry_count`. On a healthy channel this is
+        exactly one send plus one ``run_for``, so the no-fault event
+        timeline is unchanged.
+        """
+        xid = self.barrier()
+        run_for(timeout_ps)
+        rtt = self.rtt_of(xid)
+        for _ in range(retries):
+            if rtt is not None:
+                break
+            self.retry_count += 1
+            xid = self.barrier()
+            run_for(timeout_ps)
+            rtt = self.rtt_of(xid)
+        return rtt
+
     # -- measurement accessors -------------------------------------------------
 
     def rtt_of(self, xid: int) -> Optional[int]:
@@ -140,13 +256,46 @@ class ControlChannelHandle:
             return None
         return self.reply_times[xid] - self.send_times[xid]
 
+    def events(self, kind: Optional[str] = None) -> List[ChannelEvent]:
+        """The received timeline as typed :class:`ChannelEvent` views,
+        optionally filtered by kind (``"packet_in"``, ``"error_msg"``,
+        ``"flow_removed"``, ...)."""
+        events = [ChannelEvent.from_timed(t) for t in self.received]
+        if kind is None:
+            return events
+        return [e for e in events if e.kind == kind]
+
+    def packet_in_events(self) -> List[ChannelEvent]:
+        return self.events("packet_in")
+
+    def error_events(self) -> List[ChannelEvent]:
+        return self.events("error_msg")
+
+    def flow_removed_events(self) -> List[ChannelEvent]:
+        return self.events("flow_removed")
+
+    # -- deprecated raw accessors ---------------------------------------------
+
+    def _deprecated_raw(self, replacement: str) -> None:
+        warnings.warn(
+            f"raw TimedMessage accessors are deprecated; use {replacement}",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
     def packet_ins(self) -> List[TimedMessage]:
+        """Deprecated: use :meth:`packet_in_events`."""
+        self._deprecated_raw("packet_in_events()")
         return [t for t in self.received if isinstance(t.message, PacketIn)]
 
     def errors(self) -> List[TimedMessage]:
+        """Deprecated: use :meth:`error_events`."""
+        self._deprecated_raw("error_events()")
         return [t for t in self.received if isinstance(t.message, ErrorMsg)]
 
     def flow_removed(self) -> List[TimedMessage]:
+        """Deprecated: use :meth:`flow_removed_events`."""
+        self._deprecated_raw("flow_removed_events()")
         return [t for t in self.received if isinstance(t.message, FlowRemoved)]
 
 

@@ -26,6 +26,8 @@ class OflopsContext:
         profile: Optional[SwitchProfile] = None,
         control_latency_ps: int = us(50),
         wire_cross_ports: bool = True,
+        impairments=None,
+        seed: int = 0,
         **osnt_kwargs,
     ) -> None:
         self.sim = sim or Simulator()
@@ -52,10 +54,33 @@ class OflopsContext:
         self.metrics.gauge("control.received", lambda: len(self.control.received))
         self.metrics.gauge("control.sent", lambda: len(self.control.send_times))
         self.metrics.gauge("control.replies", lambda: len(self.control.reply_times))
+        self.metrics.gauge("control.retries", lambda: self.control.retry_count)
+        self.metrics.gauge(
+            "control.dropped", lambda: self.testbed.channel.dropped_messages
+        )
         #: OF port numbers (1-based) of the wired paths.
         self.ingress_of_port = 1
         self.egress_of_port = 2
         self.egress2_of_port = 3 if wire_cross_ports else None
+        #: Armed fault injector, when an ImpairmentSpec was supplied.
+        self.injector = None
+        from ..faults import ImpairmentSpec
+
+        spec = ImpairmentSpec.from_any(impairments)
+        if not spec.empty:
+            from ..faults import FaultInjector
+
+            device = self.testbed.tester.device
+            self.injector = FaultInjector(
+                self.sim, spec, seed=seed, registry=self.metrics
+            )
+            self.injector.bind(
+                link=self.testbed.links[0],
+                link_egress=self.testbed.links[1],
+                dma=device.dma,
+                clock=device,
+                control=self.testbed.channel,
+            ).arm()
 
     def snapshot(self) -> dict:
         """Tester-card and framework telemetry in one sorted read."""

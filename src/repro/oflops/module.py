@@ -23,6 +23,12 @@ class MeasurementModule:
     description = ""
     #: Hard cap on simulated time for one run.
     max_duration_ps = seconds(10)
+    #: Degradable modules survive the deadline: instead of raising,
+    #: the runner collects whatever partial results exist and marks
+    #: them ``degraded=True`` — the behaviour fault-injection runs
+    #: (flapped control channels, lossy links) need. A module opting
+    #: in must make its :meth:`collect` tolerate missing replies.
+    degradable = False
 
     def setup(self, ctx: OflopsContext) -> None:
         """Prepare DUT state (install baseline rules, start captures)."""
@@ -60,14 +66,24 @@ class ModuleRunner:
             tracer.instant(started_at, "oflops", "start", {"module": module.name})
         module.start(ctx)
         deadline = started_at + module.max_duration_ps
+        degraded = False
         while not module.is_finished(ctx):
             if ctx.sim.now >= deadline:
-                raise OflopsError(
-                    f"module {module.name!r} did not finish within "
-                    f"{module.max_duration_ps} ps of simulated time"
-                )
+                if not module.degradable:
+                    raise OflopsError(
+                        f"module {module.name!r} did not finish within "
+                        f"{module.max_duration_ps} ps of simulated time"
+                    )
+                degraded = True
+                if tracer is not None:
+                    tracer.instant(
+                        ctx.sim.now, "oflops", "degraded", {"module": module.name}
+                    )
+                break
             ctx.run_until(min(ctx.sim.now + self.slice_ps, deadline))
         results = module.collect(ctx)
+        if degraded:
+            results["degraded"] = True
         results.setdefault("module", module.name)
         results.setdefault("simulated_ps", ctx.sim.now - started_at)
         if tracer is not None:
@@ -78,6 +94,8 @@ class ModuleRunner:
         metrics = getattr(ctx, "metrics", None)
         if metrics is not None:
             metrics.counter("module.runs").inc()
+            if degraded:
+                metrics.counter("module.degraded").inc()
             metrics.histogram("module.duration_ps", unit="ps").record(
                 results["simulated_ps"]
             )

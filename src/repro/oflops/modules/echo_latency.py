@@ -18,6 +18,9 @@ class EchoLatencyModule(MeasurementModule):
 
     name = "echo_latency"
     description = "OpenFlow echo request/reply RTT distribution"
+    #: A lost echo (flapped channel) stalls the pacing chain; rather
+    #: than crash at the deadline, report the RTTs that did complete.
+    degradable = True
 
     def __init__(self, count: int = 50, payload: bytes = b"oflops") -> None:
         self.count = count
@@ -42,12 +45,21 @@ class EchoLatencyModule(MeasurementModule):
         )
 
     def collect(self, ctx: OflopsContext) -> Dict[str, Any]:
-        rtts = [ctx.control.rtt_of(xid) for xid in self._xids]
+        # Unanswered echoes (lost on a flapped channel) are excluded
+        # rather than crashing the summary; a healthy run reports the
+        # historical dict unchanged.
+        rtts = [r for r in (ctx.control.rtt_of(x) for x in self._xids) if r is not None]
+        lost = len(self._xids) - len(rtts)
+        if not rtts:
+            return {"count": 0, "echoes_lost": lost}
         summary = SummaryStats.of(rtts)
-        return {
+        result = {
             "count": summary.count,
             "rtt_mean_us": summary.mean / 1e6,
             "rtt_p50_us": summary.p50 / 1e6,
             "rtt_p99_us": summary.p99 / 1e6,
             "rtt_max_us": summary.maximum / 1e6,
         }
+        if lost:
+            result["echoes_lost"] = lost
+        return result

@@ -26,6 +26,9 @@ from ..module import MeasurementModule
 class FlowModLatencyModule(MeasurementModule):
     name = "flow_mod_latency"
     description = "flow_mod install latency: barrier vs first forwarded packet"
+    #: Survives flapped control channels: missing barrier replies or
+    #: unactivated rules degrade the result instead of crashing.
+    degradable = True
 
     def __init__(
         self,
@@ -48,9 +51,10 @@ class FlowModLatencyModule(MeasurementModule):
     def setup(self, ctx: OflopsContext) -> None:
         # Catch-all drop keeps probe misses off the control channel.
         ctx.control.add_flow(Match(), actions=[], priority=1)
-        self._setup_barrier = ctx.control.barrier()
-        ctx.run_for(ms(5))
-        assert ctx.control.rtt_of(self._setup_barrier) is not None
+        # Bounded resends: on a flapped channel the barrier (or its
+        # reply) may be lost; on a healthy one this is a single
+        # barrier + run_for, identical to the pre-fault behaviour.
+        ctx.control.sync_barrier(ctx.run_for, ms(5), retries=3)
         ctx.data.start_capture()
         ctx.data.monitor("egress")._pipeline.host.add_listener(self._on_capture)
         engine = ctx.data.generator._engine
@@ -89,17 +93,29 @@ class FlowModLatencyModule(MeasurementModule):
 
     def collect(self, ctx: OflopsContext) -> Dict[str, Any]:
         ctx.data.generator._engine.stop()
-        barrier_done = ctx.control.reply_times[self._barrier_xid]
+        # Tolerant of a degraded run: the barrier reply may never have
+        # arrived and some rules may never have activated. A healthy run
+        # produces exactly the historical result dict.
+        barrier_done = ctx.control.reply_times.get(self._barrier_xid)
         activations = [self.activation[i] - self.t0 for i in sorted(self.activation)]
-        data_done = max(activations)
-        control_done = barrier_done - self.t0
-        return {
+        result: Dict[str, Any] = {
             "n_rules": self.n_rules,
             "barrier_mode": ctx.switch.profile.barrier_mode,
-            "control_done_us": control_done / 1e6,
-            "data_done_us": data_done / 1e6,
-            "first_rule_us": min(activations) / 1e6,
-            "median_rule_us": sorted(activations)[len(activations) // 2] / 1e6,
-            "barrier_understates_by_us": (data_done - control_done) / 1e6,
-            "per_rule_activation_us": [a / 1e6 for a in activations],
         }
+        control_done = None
+        if barrier_done is not None:
+            control_done = barrier_done - self.t0
+            result["control_done_us"] = control_done / 1e6
+        if activations:
+            data_done = max(activations)
+            result["data_done_us"] = data_done / 1e6
+            result["first_rule_us"] = min(activations) / 1e6
+            result["median_rule_us"] = sorted(activations)[len(activations) // 2] / 1e6
+            if control_done is not None:
+                result["barrier_understates_by_us"] = (data_done - control_done) / 1e6
+            result["per_rule_activation_us"] = [a / 1e6 for a in activations]
+        incomplete = barrier_done is None or len(activations) < self.n_rules
+        if incomplete or ctx.control.retry_count:
+            result["rules_activated"] = len(activations)
+            result["control_retries"] = ctx.control.retry_count
+        return result

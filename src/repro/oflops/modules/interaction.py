@@ -121,5 +121,5 @@ class ControlInteractionModule(MeasurementModule):
             "quiet_install_us": self.quiet_install_ps / 1e6,
             "loaded_install_us": self.loaded_install_ps / 1e6,
             "inflation": self.loaded_install_ps / self.quiet_install_ps,
-            "packet_ins_during_run": len(ctx.control.packet_ins()),
+            "packet_ins_during_run": len(ctx.control.packet_in_events()),
         }

@@ -10,7 +10,6 @@ from typing import Any, Dict, Optional
 from ...openflow import constants as ofp
 from ...openflow.actions import OutputAction
 from ...openflow.match import Match
-from ...openflow.messages import StatsReply
 from ...testbed.workloads import udp_template
 from ...units import ms
 from ..context import OflopsContext
@@ -82,9 +81,9 @@ class ThroughputModule(MeasurementModule):
         sent = ctx.data.generator.packets_sent
         received = ctx.data.monitor("egress").rx_packets
         reply = next(
-            t.message
-            for t in ctx.control.received
-            if isinstance(t.message, StatsReply) and t.message.xid == self._aggregate_xid
+            e.message
+            for e in ctx.control.events("stats_reply")
+            if e.xid == self._aggregate_xid
         )
         flow_packets, flow_bytes, __ = struct.unpack_from("!QQI", reply.reply_body)
         snmp_out = ctx.snmp.samples[-1].values.get(

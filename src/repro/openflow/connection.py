@@ -63,13 +63,23 @@ class _SimplexPipe:
         self.latency_ps = latency_ps
         self.bandwidth_bps = bandwidth_bps
         self._clear_time = 0  # when the pipe finishes its current sends
+        #: Fault state (:mod:`repro.faults`): while ``down`` the TCP
+        #: session is gone — whole messages are lost, not delayed.
+        self.down = False
+        self.extra_latency_ps = 0
+        self.dropped_messages = 0
 
     def transmit(self, data: bytes) -> None:
+        if self.down:
+            self.dropped_messages += 1
+            return
         serialize = wire_time_ps(len(data), self.bandwidth_bps)
         start = max(self.sim.now, self._clear_time)
         done = start + serialize
         self._clear_time = done
-        self.sim.call_at(done + self.latency_ps, self.sink._deliver, data)
+        self.sim.call_at(
+            done + self.latency_ps + self.extra_latency_ps, self.sink._deliver, data
+        )
 
 
 class ControlChannel:
@@ -88,3 +98,27 @@ class ControlChannel:
         self.switch._pipe = _SimplexPipe(sim, self.controller, latency_ps, bandwidth_bps)
         self.latency_ps = latency_ps
         self.bandwidth_bps = bandwidth_bps
+
+    # -- fault hooks (see repro.faults) ----------------------------------
+
+    @property
+    def down(self) -> bool:
+        """True while a fault holds the session down (both directions)."""
+        return self.controller._pipe.down
+
+    def set_down(self, down: bool) -> None:
+        """Flap the session: while down, messages in *either* direction
+        are lost outright (the TCP session is gone — nothing buffers or
+        retransmits them). Counted in :attr:`dropped_messages`."""
+        self.controller._pipe.down = down
+        self.switch._pipe.down = down
+
+    def set_extra_latency(self, extra_ps: int) -> None:
+        """Add one-way latency to both directions (congestion spike)."""
+        self.controller._pipe.extra_latency_ps = extra_ps
+        self.switch._pipe.extra_latency_ps = extra_ps
+
+    @property
+    def dropped_messages(self) -> int:
+        """Messages lost to flaps, both directions combined."""
+        return self.controller._pipe.dropped_messages + self.switch._pipe.dropped_messages

@@ -216,13 +216,20 @@ class TrafficMonitor:
 
     def start_capture(
         self,
-        snap_bytes: Optional[int] = None,
+        snaplen: Optional[int] = None,
         keep_one_in: int = 1,
         hash_packets: bool = False,
+        snap_bytes: Optional[int] = None,
     ) -> "TrafficMonitor":
-        if snap_bytes is not None and snap_bytes < 14:
+        if snap_bytes is not None:
+            from .monitor.reducers import _warn_snap_bytes
+
+            _warn_snap_bytes()
+            if snaplen is None:
+                snaplen = snap_bytes
+        if snaplen is not None and snaplen < 14:
             raise CaptureError("snap length must keep at least the Ethernet header")
-        self._bus.write32(self._base + 0x4, snap_bytes or 0)  # snap_len
+        self._bus.write32(self._base + 0x4, snaplen or 0)  # snap_len
         self._bus.write32(self._base + 0x8, keep_one_in)  # thin_one_in
         self._pipeline.hash_unit = HashUnit() if hash_packets else None
         self._bus.write32(self._base + 0x0, 1)  # ctrl.enable
@@ -241,7 +248,7 @@ class TrafficMonitor:
         ``start_capture(...)`` returns the monitor, so capture options
         compose with the ``with`` statement::
 
-            with monitor.start_capture(snap_bytes=64):
+            with monitor.start_capture(snaplen=64):
                 sim.run(until=...)
         """
         if not self.capturing:
@@ -257,36 +264,59 @@ class TrafficMonitor:
 
     # -- filters -------------------------------------------------------------
 
-    def add_filter(
-        self,
-        src_ip: Optional[str] = None,
-        src_prefix_len: int = 32,
-        dst_ip: Optional[str] = None,
-        dst_prefix_len: int = 32,
-        protocol: Optional[int] = None,
-        src_port: Optional[int] = None,
-        dst_port: Optional[int] = None,
-        action_pass: bool = True,
-    ) -> "TrafficMonitor":
-        """Install a wildcard filter row (and default-drop the rest)."""
+    def add_filter(self, rule=None, **fields) -> "TrafficMonitor":
+        """Install a wildcard filter row (and default-drop the rest).
+
+        ``rule`` may be a :class:`~repro.osnt.monitor.filters.FilterRule`,
+        a declarative spec dict (anything ``FilterRule.from_spec``
+        accepts, including the CLI's ``"src": "10.0.0.0/8"`` prefix
+        shorthand) or a JSON object string; alternatively pass the rule
+        fields (``dst_port=53, protocol=17, ...``) as keywords.
+        """
         from ..net.fields import ipv4_to_int
         from .device import FILTER_WILDCARD
+        from .monitor.filters import FilterRule
 
+        if rule is not None:
+            if fields:
+                raise CaptureError("pass either a rule spec or field keywords, not both")
+            rule = FilterRule.from_spec(rule)
+        else:
+            rule = FilterRule(**fields)
         base = self._base
         write = self._bus.write32
-        write(base + 0x40, FILTER_WILDCARD if src_ip is None else ipv4_to_int(src_ip))
-        write(base + 0x44, src_prefix_len)
-        write(base + 0x48, FILTER_WILDCARD if dst_ip is None else ipv4_to_int(dst_ip))
-        write(base + 0x4C, dst_prefix_len)
-        write(base + 0x50, FILTER_WILDCARD if protocol is None else protocol)
-        write(base + 0x54, FILTER_WILDCARD if src_port is None else src_port)
-        write(base + 0x58, FILTER_WILDCARD if dst_port is None else dst_port)
-        write(base + 0x5C, 1 if action_pass else 0)
+        write(base + 0x40, FILTER_WILDCARD if rule.src_ip is None else ipv4_to_int(rule.src_ip))
+        write(base + 0x44, rule.src_prefix_len)
+        write(base + 0x48, FILTER_WILDCARD if rule.dst_ip is None else ipv4_to_int(rule.dst_ip))
+        write(base + 0x4C, rule.dst_prefix_len)
+        write(base + 0x50, FILTER_WILDCARD if rule.protocol is None else rule.protocol)
+        write(base + 0x54, FILTER_WILDCARD if rule.src_port is None else rule.src_port)
+        write(base + 0x58, FILTER_WILDCARD if rule.dst_port is None else rule.dst_port)
+        write(base + 0x5C, 1 if rule.action_pass else 0)
         write(base + 0x60, 1)  # commit strobe
         # Installing an explicit pass rule flips the default to drop —
         # "capture only what matches", like the OSNT cut/filter tools.
-        if action_pass:
+        if rule.action_pass:
             self._pipeline.filter_bank.default_pass = False
+        return self
+
+    def set_filters(self, rules) -> "TrafficMonitor":
+        """Replace the whole bank declaratively.
+
+        ``rules`` is a list of rule specs or a JSON array — the same
+        inputs as :meth:`FilterBank.from_rules
+        <repro.osnt.monitor.filters.FilterBank.from_rules>`. The staged
+        bank is validated in software first, then each row is committed
+        through the register interface, so the hardware and software
+        views stay in lockstep.
+        """
+        from .monitor.filters import FilterBank
+
+        bank = FilterBank.from_rules(rules)
+        self.clear_filters()
+        for rule in bank.rules:
+            self.add_filter(rule)
+        self._pipeline.filter_bank.default_pass = bank.default_pass
         return self
 
     def clear_filters(self) -> None:
@@ -408,7 +438,7 @@ class OSNT:
         Arms the monitor with ``start_capture(**capture_kwargs)``,
         yields it, and always stops the capture on exit::
 
-            with tester.capture(1, snap_bytes=64) as mon:
+            with tester.capture(1, snaplen=64) as mon:
                 sim.run(until=ms(2))
             rows = mon.packets
         """

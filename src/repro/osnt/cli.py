@@ -27,7 +27,7 @@ from ..net.pcapng import read_capture
 from ..sim import Simulator
 from ..units import format_rate, ms, parse_rate, seconds
 from .api import OSNT
-from .monitor.filters import FilterBank, FilterRule
+from .monitor.filters import FilterBank
 from .monitor.reducers import PacketCutter, Thinner
 
 
@@ -112,7 +112,6 @@ def mon_main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    bank = FilterBank(default_pass=True)
     rule_fields = {}
     if args.proto is not None:
         rule_fields["protocol"] = args.proto
@@ -120,15 +119,8 @@ def mon_main(argv: Optional[List[str]] = None) -> int:
         rule_fields["dst_port"] = args.dst_port
     for field, value in (("src", args.src_ip), ("dst", args.dst_ip)):
         if value:
-            if "/" in value:
-                address, length = value.split("/", 1)
-                rule_fields[f"{field}_ip"] = address
-                rule_fields[f"{field}_prefix_len"] = int(length)
-            else:
-                rule_fields[f"{field}_ip"] = value
-    if rule_fields:
-        bank.add_rule(FilterRule(**rule_fields))
-        bank.default_pass = False
+            rule_fields[field] = value
+    bank = FilterBank.from_rules([rule_fields] if rule_fields else [])
 
     cutter = PacketCutter(args.snaplen)
     thinner = Thinner(keep_one_in=args.thin)

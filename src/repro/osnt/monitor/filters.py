@@ -9,8 +9,9 @@ default action applies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+import json
+from dataclasses import dataclass, fields as dataclass_fields
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from ...errors import CaptureError
 from ...net.fields import ipv4_to_int
@@ -42,6 +43,48 @@ class FilterRule:
         for length in (self.src_prefix_len, self.dst_prefix_len):
             if not 0 <= length <= 32:
                 raise CaptureError(f"bad prefix length {length}")
+
+    @classmethod
+    def from_spec(cls, spec: Union["FilterRule", Dict[str, Any], str]) -> "FilterRule":
+        """Build a rule from a declarative spec.
+
+        Accepts an existing rule (pass-through), a JSON object string,
+        or a dict using either the dataclass field names or the CLI
+        shorthand: ``"src"``/``"dst"`` take ``"a.b.c.d/len"`` prefix
+        strings (bare address = /32) and ``"action"`` takes ``"pass"``
+        or ``"drop"``.
+
+        >>> FilterRule.from_spec({"src": "10.0.0.0/8", "action": "drop"})
+        ... # doctest: +SKIP
+        """
+        if isinstance(spec, cls):
+            return spec
+        if isinstance(spec, str):
+            try:
+                spec = json.loads(spec)
+            except json.JSONDecodeError as exc:
+                raise CaptureError(f"filter rule is not valid JSON: {exc}") from exc
+        if not isinstance(spec, dict):
+            raise CaptureError(
+                f"filter rule spec must be a dict, got {type(spec).__name__}"
+            )
+        known = {f.name for f in dataclass_fields(cls)}
+        kwargs: Dict[str, Any] = {}
+        for key, value in spec.items():
+            if key in ("src", "dst"):
+                address, slash, length = str(value).partition("/")
+                kwargs[f"{key}_ip"] = address
+                if slash:
+                    kwargs[f"{key}_prefix_len"] = int(length)
+            elif key == "action":
+                if value not in ("pass", "drop"):
+                    raise CaptureError(f"filter action must be pass/drop, got {value!r}")
+                kwargs["action_pass"] = value == "pass"
+            elif key in known:
+                kwargs[key] = value
+            else:
+                raise CaptureError(f"unknown filter rule field {key!r}")
+        return cls(**kwargs)
 
     def matches(self, tup: Optional[FiveTuple]) -> bool:
         if tup is None:
@@ -92,6 +135,39 @@ class FilterBank:
         self.matched = 0
         self.passed = 0
         self.filtered = 0
+
+    @classmethod
+    def from_rules(
+        cls,
+        rules: Union[Sequence, str],
+        size: int = DEFAULT_BANK_SIZE,
+        default_pass: Optional[bool] = None,
+    ) -> "FilterBank":
+        """Build a populated bank declaratively.
+
+        ``rules`` is a sequence of rule specs (anything
+        :meth:`FilterRule.from_spec` accepts) or a JSON array string.
+        ``default_pass=None`` picks the conventional default: drop
+        what no rule matched when any *pass* rule exists (capture only
+        what you asked for), otherwise pass — the same behaviour the
+        ``osnt-mon`` CLI and :meth:`TrafficMonitor.add_filter` apply.
+        """
+        if isinstance(rules, str):
+            try:
+                rules = json.loads(rules)
+            except json.JSONDecodeError as exc:
+                raise CaptureError(f"filter rules are not valid JSON: {exc}") from exc
+        if not isinstance(rules, (list, tuple)):
+            raise CaptureError(
+                f"filter rules must be a list, got {type(rules).__name__}"
+            )
+        parsed = [FilterRule.from_spec(spec) for spec in rules]
+        if default_pass is None:
+            default_pass = not any(rule.action_pass for rule in parsed)
+        bank = cls(size=size, default_pass=default_pass)
+        for rule in parsed:
+            bank.add_rule(rule)
+        return bank
 
     def add_rule(self, rule: FilterRule) -> int:
         """Append a rule; returns its row index."""

@@ -10,6 +10,7 @@ correlated across observation points.
 from __future__ import annotations
 
 import random
+import warnings
 from typing import Optional
 
 from ...errors import CaptureError
@@ -18,23 +19,50 @@ from ...net.fields import u32
 from ...net.packet import Packet
 
 
-class PacketCutter:
-    """Truncate captured packets to ``snap_bytes`` (0/None disables)."""
+def _warn_snap_bytes() -> None:
+    warnings.warn(
+        "'snap_bytes' is deprecated; use 'snaplen' (matching net.pcap/pcapng)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
-    def __init__(self, snap_bytes: Optional[int] = None) -> None:
-        self.configure(snap_bytes)
+
+class PacketCutter:
+    """Truncate captured packets to ``snaplen`` (0/None disables)."""
+
+    def __init__(
+        self,
+        snaplen: Optional[int] = None,
+        snap_bytes: Optional[int] = None,
+    ) -> None:
+        if snap_bytes is not None:
+            _warn_snap_bytes()
+            if snaplen is None:
+                snaplen = snap_bytes
+        self.configure(snaplen)
         self.cut = 0
 
-    def configure(self, snap_bytes: Optional[int]) -> None:
-        if snap_bytes is not None and snap_bytes < 14:
+    def configure(self, snaplen: Optional[int]) -> None:
+        if snaplen is not None and snaplen < 14:
             raise CaptureError("snap length must keep at least the Ethernet header")
-        self.snap_bytes = snap_bytes
+        self.snaplen = snaplen
+
+    @property
+    def snap_bytes(self) -> Optional[int]:
+        """Deprecated alias of :attr:`snaplen`."""
+        _warn_snap_bytes()
+        return self.snaplen
+
+    @snap_bytes.setter
+    def snap_bytes(self, value: Optional[int]) -> None:
+        _warn_snap_bytes()
+        self.configure(value)
 
     def apply(self, packet: Packet) -> None:
-        if self.snap_bytes is None or len(packet.data) <= self.snap_bytes:
+        if self.snaplen is None or len(packet.data) <= self.snaplen:
             packet.capture_length = len(packet.data)
             return
-        packet.capture_length = self.snap_bytes
+        packet.capture_length = self.snaplen
         self.cut += 1
 
 

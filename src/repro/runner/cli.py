@@ -32,6 +32,17 @@ _EXAMPLE_SPEC = {
     "retries": 1,
 }
 
+_EXAMPLE_FAULTS_SPEC = {
+    "name": "latency-vs-loss",
+    "scenario": "lossy_link_latency",
+    "params": {"frame_size": 256, "duration": "2ms"},
+    "axes": {"loss_rate": [0.0, 0.005, 0.02, 0.05], "burst": [1.0, 8.0]},
+    "repeats": 1,
+    "seed": 0,
+    "timeout_s": 120.0,
+    "retries": 1,
+}
+
 
 def _load_spec(path: str) -> ExperimentSpec:
     if path == "-":
@@ -91,7 +102,7 @@ def _cmd_scenarios(args) -> int:
 
 
 def _cmd_example(args) -> int:
-    print(json.dumps(_EXAMPLE_SPEC, indent=2))
+    print(json.dumps(_EXAMPLE_FAULTS_SPEC if args.faults else _EXAMPLE_SPEC, indent=2))
     return 0
 
 
@@ -134,9 +145,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     sub.add_parser("scenarios", help="list registered scenarios").set_defaults(
         func=_cmd_scenarios
     )
-    sub.add_parser("example", help="print an example spec").set_defaults(
-        func=_cmd_example
+    example_p = sub.add_parser("example", help="print an example spec")
+    example_p.add_argument(
+        "--faults", action="store_true",
+        help="print a fault-injection sweep spec instead",
     )
+    example_p.set_defaults(func=_cmd_example)
 
     args = parser.parse_args(argv)
     try:

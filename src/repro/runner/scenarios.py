@@ -217,6 +217,8 @@ def _flowmod_latency(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     """E4: flow_mod install latency, control vs data plane."""
     from ..testbed.scenarios import measure_flowmod_latency
 
+    impairments = params.get("impairments")
+    deadline = params.get("deadline")
     result = measure_flowmod_latency(
         n_rules=params.get("n_rules", 32),
         barrier_mode=params.get("barrier_mode", "spec"),
@@ -224,10 +226,17 @@ def _flowmod_latency(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
         table_write_ps=duration_ps(params.get("table_write", us(100))),
         probe_gap_ps=duration_ps(params.get("probe_gap", us(2))),
         base_port=params.get("base_port", 6000),
+        impairments=impairments,
+        seed=_seed(params, seed),
+        deadline_ps=None if deadline is None else duration_ps(deadline),
+        barrier_retries=params.get("barrier_retries", 3),
     )
     out = dataclasses.asdict(result)
     out["data_plane_complete_ps"] = result.data_plane_complete_ps
     out["control_says_done_before_data_ps"] = result.control_says_done_before_data_ps
+    if not impairments and not result.degraded and not result.control_retries:
+        # Unimpaired runs keep the pre-faults result schema bit-identical.
+        del out["degraded"], out["control_retries"]
     return out
 
 
@@ -289,6 +298,8 @@ def _oflops(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     ctx = OflopsContext(
         profile=profile,
         control_latency_ps=duration_ps(params.get("control_latency", us(50))),
+        impairments=params.get("impairments"),
+        seed=_seed(params, seed),
         root_seed=_seed(params, seed),
     )
     module_cls = ALL_MODULES[name]
@@ -296,7 +307,69 @@ def _oflops(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
         module = module_cls(n_rules=params.get("n_rules", 32))
     else:
         module = module_cls()
+    if params.get("max_duration") is not None:
+        # Degradable modules run out the full deadline on a faulted
+        # channel; impaired sweeps cap it to keep shards fast.
+        module.max_duration_ps = duration_ps(params["max_duration"])
     result = dict(ModuleRunner(ctx).run(module))
     if params.get("telemetry"):
         result["telemetry"] = ctx.snapshot()
     return result
+
+
+# -- fault-injection scenarios -----------------------------------------------
+
+
+@scenario("lossy_link_latency")
+def _lossy_link_latency(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """F1: probe latency through the legacy switch over a lossy link."""
+    from ..faults.scenarios import lossy_link_latency_point
+
+    row, extras = lossy_link_latency_point(
+        loss_rate=params.get("loss_rate", 0.01),
+        burst=params.get("burst", 1.0),
+        frame_size=params.get("frame_size", 256),
+        load=params.get("load", 0.05),
+        duration_ps=duration_ps(params.get("duration", ms(2))),
+        seed=_seed(params, seed),
+        switch_seed=params.get("switch_seed", 1),
+    )
+    out = _rowdict(row, extras)
+    out["observed_loss"] = row.observed_loss
+    return out
+
+
+@scenario("gps_holdover_drift")
+def _gps_holdover_drift(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """F2: clock error through a GPS holdover window."""
+    from ..faults.scenarios import gps_holdover_drift_point
+
+    rows, extras = gps_holdover_drift_point(
+        holdover_start_s=params.get("holdover_start_s", 3),
+        holdover_len_s=params.get("holdover_len_s", 4),
+        horizon_s=params.get("horizon_s", 10),
+        freq_error_ppm=params.get("freq_error_ppm", 30.0),
+        walk_ppb=params.get("walk_ppb", 20.0),
+        seed=_seed(params, seed),
+    )
+    return _rowsdict(rows, extras)
+
+
+@scenario("flowmod_under_flap")
+def _flowmod_under_flap(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """F3: flow_mod latency with the control channel flapping.
+
+    Completes with ``degraded: true`` and retry counts instead of
+    raising when flow mods or barriers die on a down window.
+    """
+    from ..faults.scenarios import flowmod_under_flap_point
+
+    return flowmod_under_flap_point(
+        n_rules=params.get("n_rules", 32),
+        flap_period=duration_ps(params.get("flap_period", ms(10))),
+        flap_down=duration_ps(params.get("flap_down", ms(6))),
+        deadline_ps=duration_ps(params.get("deadline", ms(30))),
+        barrier_retries=params.get("barrier_retries", 3),
+        barrier_mode=params.get("barrier_mode", "spec"),
+        seed=_seed(params, seed),
+    )

@@ -104,7 +104,7 @@ def _run_trial(
         sim, switch=switch, dma_bandwidth_bps=40e9, dma_ring_slots=1 << 14
     )
     bed.teach_mac_table("02:00:00:00:00:02")
-    bed.monitor.start_capture(snap_bytes=64)
+    bed.monitor.start_capture(snaplen=64)
     generator = bed.generator
     generator.load_template(
         udp_template(frame_size),

@@ -423,6 +423,12 @@ class FlowModResult:
     control_latency_ps: int
     #: Per-rule data-plane activation latency (first forwarded probe).
     rule_activation_ps: List[int] = field(default_factory=list)
+    #: True when the run hit its deadline with rules unactivated or the
+    #: barrier unanswered (fault-injection runs); healthy runs report
+    #: False and the ``flowmod_latency`` scenario omits the field.
+    degraded: bool = False
+    #: Setup-barrier resends that were needed (flapped control channel).
+    control_retries: int = 0
 
     @property
     def data_plane_complete_ps(self) -> int:
@@ -441,6 +447,10 @@ def measure_flowmod_latency(
     table_write_ps: int = us(100),
     probe_gap_ps: int = us(2),
     base_port: int = 6000,
+    impairments=None,
+    seed: int = 0,
+    deadline_ps: Optional[int] = None,
+    barrier_retries: int = 3,
 ) -> FlowModResult:
     """Demo Part II: latency to modify the flow table, measured both ways.
 
@@ -448,9 +458,18 @@ def measure_flowmod_latency(
     probes cycle ``n_rules`` UDP destination ports; each new rule's
     activation is the RX timestamp of the first probe it forwards.
 
+    ``impairments`` accepts anything
+    :meth:`repro.faults.ImpairmentSpec.from_any` does; under active
+    faults the run degrades instead of crashing: setup barriers are
+    resent up to ``barrier_retries`` times, and a deadline hit reports
+    ``degraded=True`` with whatever activated. Without impairments the
+    measurement (and its event timeline) is exactly the historical one.
+
     (Already a single measurement point — registered directly as the
     ``flowmod_latency`` scenario.)
     """
+    from ..faults import FaultInjector, ImpairmentSpec
+
     sim = Simulator()
     profile = SwitchProfile(
         barrier_mode=barrier_mode,
@@ -458,6 +477,17 @@ def measure_flowmod_latency(
         table_write_ps=table_write_ps,
     )
     bed = OpenFlowTestbed(sim, profile=profile)
+    spec = ImpairmentSpec.from_any(impairments)
+    faulted = not spec.empty
+    if faulted:
+        device = bed.tester.device
+        FaultInjector(sim, spec, seed=seed).bind(
+            link=bed.links[0],
+            link_egress=bed.links[1],
+            dma=device.dma,
+            clock=device,
+            control=bed.channel,
+        ).arm()
     barrier_times: Dict[int, int] = {}
 
     def on_control(message):
@@ -470,7 +500,18 @@ def measure_flowmod_latency(
     bed.controller.send(FlowMod(match=Match(), priority=1, actions=[]))
     bed.controller.send(BarrierRequest(xid=1))
     sim.run(until=ms(5))
-    assert 1 in barrier_times, "setup barrier lost"
+    control_retries = 0
+    if faulted:
+        # Bounded resends: the barrier (or its reply) may have died on
+        # a flapped channel. Healthy runs never enter this loop.
+        setup_xid = 1
+        while setup_xid not in barrier_times and control_retries < barrier_retries:
+            control_retries += 1
+            setup_xid = 100 + control_retries
+            bed.controller.send(BarrierRequest(xid=setup_xid))
+            sim.run(until=sim.now + ms(5))
+    else:
+        assert 1 in barrier_times, "setup barrier lost"
 
     # Continuous probes across the rule ports.
     bed.monitor.start_capture()
@@ -510,7 +551,7 @@ def measure_flowmod_latency(
     bed.monitor.on_packet(on_capture)
 
     # Run until every rule has forwarded and the barrier came back.
-    deadline = t0 + seconds(2)
+    deadline = t0 + (seconds(2) if deadline_ps is None else deadline_ps)
     while sim.now < deadline and (len(activation) < n_rules or 2 not in barrier_times):
         sim.run(until=min(sim.now + ms(1), deadline))
     bed.generator._engine.stop()
@@ -523,6 +564,8 @@ def measure_flowmod_latency(
         rule_activation_ps=[
             activation[index] - t0 for index in sorted(activation)
         ],
+        degraded=len(activation) < n_rules or 2 not in barrier_times,
+        control_retries=control_retries,
     )
 
 
@@ -662,9 +705,9 @@ class CaptureRow:
 #: The capture reducer variants E6 compares, as spec-friendly dicts.
 CAPTURE_VARIANTS: List[Dict[str, Any]] = [
     {"name": "full"},
-    {"name": "cut-64", "snap_bytes": 64},
+    {"name": "cut-64", "snaplen": 64},
     {"name": "thin-1in8", "keep_one_in": 8},
-    {"name": "cut+thin", "snap_bytes": 64, "keep_one_in": 8},
+    {"name": "cut+thin", "snaplen": 64, "keep_one_in": 8},
 ]
 
 
@@ -677,7 +720,8 @@ def capture_path_point(
     seed: int = 0,
 ) -> Tuple[CaptureRow, Extras]:
     """One E6 point: capture completeness for one load and one reducer
-    variant (``{"name": ..., "snap_bytes": ..., "keep_one_in": ...}``)."""
+    variant (``{"name": ..., "snaplen": ..., "keep_one_in": ...}``;
+    the deprecated ``snap_bytes`` key is still honoured)."""
     variant = dict(variant or {"name": "full"})
     variant_name = variant.pop("name", "custom")
     sim = Simulator()

@@ -38,11 +38,15 @@ class LegacySwitchTestbed:
         self.sim = sim
         self.tester = OSNT(sim, **osnt_kwargs)
         self.switch = switch or LegacySwitch(sim)
-        connect(self.tester.port(0), self.switch.port(0))
-        connect(self.tester.port(1), self.switch.port(1))
+        #: The wired cables, in wiring order — fault models attach here
+        #: (``links[0]`` is the ingress OSNT→switch cable).
+        self.links = [
+            connect(self.tester.port(0), self.switch.port(0)),
+            connect(self.tester.port(1), self.switch.port(1)),
+        ]
         if wire_cross_ports:
-            connect(self.tester.port(2), self.switch.port(2))
-            connect(self.tester.port(3), self.switch.port(3))
+            self.links.append(connect(self.tester.port(2), self.switch.port(2)))
+            self.links.append(connect(self.tester.port(3), self.switch.port(3)))
         self.generator: TrafficGenerator = self.tester.generator(0)
         self.monitor: TrafficMonitor = self.tester.monitor(1)
 
@@ -84,11 +88,15 @@ class OpenFlowTestbed:
             profile=profile,
         )
         self.tester = OSNT(sim, **osnt_kwargs)
-        connect(self.tester.port(0), self.switch.port(0))
-        connect(self.tester.port(1), self.switch.port(1))
+        #: The wired cables, in wiring order — fault models attach here
+        #: (``links[0]`` is the ingress OSNT→switch cable).
+        self.links = [
+            connect(self.tester.port(0), self.switch.port(0)),
+            connect(self.tester.port(1), self.switch.port(1)),
+        ]
         if wire_cross_ports and num_switch_ports >= 4:
-            connect(self.tester.port(2), self.switch.port(2))
-            connect(self.tester.port(3), self.switch.port(3))
+            self.links.append(connect(self.tester.port(2), self.switch.port(2)))
+            self.links.append(connect(self.tester.port(3), self.switch.port(3)))
         self.snmp = SnmpAgent(sim, self.switch.ports)
         self.generator: TrafficGenerator = self.tester.generator(0)
         self.monitor: TrafficMonitor = self.tester.monitor(1)

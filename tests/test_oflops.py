@@ -220,3 +220,47 @@ class TestPortStatsModule:
             PortStatsAccuracyModule(packet_count=200, poll_interval_ps=us_(100))
         )
         assert fast["polls"] > slow["polls"]
+
+
+class TestChannelEvents:
+    def test_typed_packet_in_events(self):
+        runner = profiled_runner()
+        runner.run(PacketInLatencyModule(count=5))
+        handle = runner.ctx.control
+        events = handle.packet_in_events()
+        assert events
+        for event in events:
+            assert event.kind == "packet_in"
+            assert isinstance(event.timestamp_ps, int)
+            assert event.payload["total_len"] > 0
+            assert "in_port" in event.payload
+            assert event.message is not None  # raw message stays reachable
+        assert handle.events("packet_in") == events
+        assert handle.events("flow_removed") == []
+
+    def test_echo_events_decoded(self):
+        ctx = OflopsContext()
+        xid = ctx.control.echo(payload=b"ping")
+        ctx.run_for(us(500))
+        events = ctx.control.events("echo_reply")
+        assert len(events) == 1
+        assert events[0].xid == xid
+        assert events[0].payload["payload_len"] == len(b"ping")
+
+    def test_raw_list_access_is_deprecated(self):
+        runner = profiled_runner()
+        runner.run(PacketInLatencyModule(count=3))
+        handle = runner.ctx.control
+        with pytest.warns(DeprecationWarning, match="packet_in_events"):
+            raw = handle.packet_ins()
+        assert len(raw) == len(handle.packet_in_events())
+        with pytest.warns(DeprecationWarning, match="error_events"):
+            handle.errors()
+        with pytest.warns(DeprecationWarning, match="flow_removed_events"):
+            handle.flow_removed()
+
+    def test_sync_barrier_healthy_channel_no_retries(self):
+        ctx = OflopsContext()
+        rtt = ctx.control.sync_barrier(ctx.run_for, us(5000), retries=3)
+        assert rtt is not None
+        assert ctx.control.retry_count == 0

@@ -423,3 +423,103 @@ class TestRateMonitor:
         rates.stop()
         assert sum(s.packets for s in rates.samples) == 100
         assert rates.peak_bps() > 0
+
+
+class TestSnaplenNaming:
+    def test_snaplen_is_the_supported_name(self):
+        cutter = PacketCutter(snaplen=60)
+        assert cutter.snaplen == 60
+
+    def test_snap_bytes_kwarg_warns_but_works(self):
+        with pytest.warns(DeprecationWarning, match="snaplen"):
+            cutter = PacketCutter(snap_bytes=60)
+        assert cutter.snaplen == 60
+
+    def test_snap_bytes_property_shims(self):
+        cutter = PacketCutter(snaplen=100)
+        with pytest.warns(DeprecationWarning):
+            assert cutter.snap_bytes == 100
+        with pytest.warns(DeprecationWarning):
+            cutter.snap_bytes = 64
+        assert cutter.snaplen == 64
+
+    def test_start_capture_snap_bytes_shim(self):
+        from repro.osnt import OSNT
+
+        sim = Simulator()
+        tester = OSNT(sim)
+        connect(tester.port(0), tester.port(1))
+        monitor = tester.monitor(1)
+        with pytest.warns(DeprecationWarning, match="snaplen"):
+            monitor.start_capture(snap_bytes=64)
+        gen = tester.generator(0)
+        gen.load_template(build_udp(frame_size=512), count=5)
+        gen.start()
+        sim.run()
+        assert all(p.capture_length == 64 for p in monitor.packets)
+
+
+class TestDeclarativeFilters:
+    def test_from_rules_with_cli_shorthand(self):
+        bank = FilterBank.from_rules(
+            [{"src": "10.0.0.0/8", "protocol": 17}, {"dst": "10.0.0.9", "action": "drop"}]
+        )
+        assert len(bank.rules) == 2
+        assert bank.rules[0].src_ip == "10.0.0.0"
+        assert bank.rules[0].src_prefix_len == 8
+        assert bank.rules[1].dst_prefix_len == 32
+        assert bank.rules[1].action_pass is False
+        # One pass rule exists → unmatched traffic drops by default.
+        assert bank.default_pass is False
+
+    def test_from_rules_all_drop_rules_pass_by_default(self):
+        bank = FilterBank.from_rules([{"dst_port": 53, "action": "drop"}])
+        assert bank.default_pass is True
+        assert bank.decide(build_udp(frame_size=128, dst_port=53).data) is False
+        assert bank.decide(build_udp(frame_size=128, dst_port=80).data) is True
+
+    def test_from_rules_json_string(self):
+        bank = FilterBank.from_rules('[{"dst_port": 5001}]')
+        assert bank.rules[0].dst_port == 5001
+        with pytest.raises(CaptureError, match="not valid JSON"):
+            FilterBank.from_rules("{nope")
+
+    def test_from_spec_rejects_unknown_fields_and_actions(self):
+        with pytest.raises(CaptureError, match="unknown filter rule field"):
+            FilterRule.from_spec({"port": 80})
+        with pytest.raises(CaptureError, match="pass/drop"):
+            FilterRule.from_spec({"dst_port": 80, "action": "reject"})
+
+    def test_from_spec_passthrough(self):
+        rule = FilterRule(dst_port=80)
+        assert FilterRule.from_spec(rule) is rule
+
+    def test_monitor_add_filter_accepts_declarative_rule(self):
+        from repro.osnt import OSNT
+
+        sim = Simulator()
+        tester = OSNT(sim)
+        connect(tester.port(0), tester.port(1))
+        monitor = tester.monitor(1)
+        monitor.start_capture()
+        monitor.add_filter({"dst_port": 5001})
+        gen = tester.generator(0)
+        gen.load_template(build_udp(frame_size=256, dst_port=5001), count=4)
+        gen.start()
+        sim.run()
+        assert monitor.captured_count == 4
+
+    def test_monitor_set_filters_routes_through_bank(self):
+        from repro.osnt import OSNT
+
+        sim = Simulator()
+        tester = OSNT(sim)
+        connect(tester.port(0), tester.port(1))
+        monitor = tester.monitor(1)
+        monitor.start_capture()
+        monitor.set_filters([{"dst_port": 9999}])  # nothing we send matches
+        gen = tester.generator(0)
+        gen.load_template(build_udp(frame_size=256, dst_port=5001), count=4)
+        gen.start()
+        sim.run()
+        assert monitor.captured_count == 0
