@@ -162,10 +162,24 @@ class LegacySwitch:
             out_port = None
         else:
             out_port = self.mac_table.lookup(dst_mac, now)
+        spans = self.sim.spans
+        if spans is not None:
+            spans.hop(
+                now, packet, "switch_lookup",
+                {
+                    "switch": self.name,
+                    "in_port": in_port,
+                    "dst": dst_mac,
+                    "out_port": out_port if out_port is not None else "flood",
+                },
+            )
         if out_port is None:
             self._flood(packet, in_port)
         elif out_port == in_port:
             self.dropped_same_port += 1
+            if spans is not None:
+                spans.close(now, packet, "switch_drop",
+                            detail={"reason": "same_port"})
         else:
             self._emit(packet, out_port)
             self.forwarded += 1
@@ -179,8 +193,20 @@ class LegacySwitch:
     def _emit(self, packet: Packet, out_port: int) -> None:
         # Forward a fresh frame object: the DUT's output is a new signal
         # on the wire, not the tester's packet instance.
-        if not self.ports[out_port].send(Packet(packet.data)):
+        frame = Packet(packet.data)
+        spans = self.sim.spans
+        if spans is not None:
+            # Alias the egress frame onto the ingress packet's span so
+            # correlation holds even for frames with no embedded stamp.
+            spans.transfer(
+                self.sim.now, packet, frame, "switch_emit",
+                {"switch": self.name, "out_port": out_port},
+            )
+        if not self.ports[out_port].send(frame):
             self.dropped_no_buffer += 1
+            if spans is not None:
+                spans.close(self.sim.now, frame, "switch_drop",
+                            detail={"reason": "no_buffer", "out_port": out_port})
 
     @property
     def egress_drops(self) -> int:

@@ -123,8 +123,20 @@ class FaultInjector:
     # -- recording -----------------------------------------------------------
 
     def record(self, fault_name: str, action: str, **detail: Any) -> None:
-        """Log one fault action into timeline + digest + telemetry."""
+        """Log one fault action into timeline + digest + telemetry.
+
+        A ``packet=`` keyword names the frame the action touched; it is
+        routed to an armed :class:`repro.obs.SpanRecorder` (the packet's
+        span gains a fault hop) and **stripped before** the timeline and
+        digest, so digests stay bit-identical whether or not models pass
+        packets and whether or not spans are armed.
+        """
+        packet = detail.pop("packet", None)
         now = self.sim.now
+        if packet is not None:
+            spans = getattr(self.sim, "spans", None)
+            if spans is not None:
+                spans.fault(now, packet, fault_name, action, detail or None)
         self.events_recorded += 1
         entry = (now, fault_name, action, detail)
         if len(self.timeline) < TIMELINE_LIMIT:

@@ -183,7 +183,7 @@ class LinkLossModel(_LinkModel):
 
         self.dropped += 1
         destination.rx.stats.drops_injected += 1
-        self.record("drop", bytes=packet.frame_length)
+        self.record("drop", bytes=packet.frame_length, packet=packet)
         return DROP_FRAME
 
 
@@ -207,7 +207,7 @@ class LinkCorruptModel(_LinkModel):
         self.target.frames_corrupted += 1
         destination.rx.stats.errors += 1
         destination.rx.stats.drops_injected += 1
-        self.record("corrupt", bytes=packet.frame_length)
+        self.record("corrupt", bytes=packet.frame_length, packet=packet)
         return DROP_FRAME
 
 
@@ -229,7 +229,7 @@ class LinkJitterModel(_LinkModel):
         if delay <= 0:
             return None
         self.delayed += 1
-        self.record("delay", delay_ps=delay)
+        self.record("delay", delay_ps=delay, packet=packet)
         return delay
 
 
@@ -252,7 +252,7 @@ class LinkReorderModel(_LinkModel):
         if self.rng.random() >= self.rate:
             return None
         self.reordered += 1
-        self.record("reorder", delay_ps=self.delay_ps)
+        self.record("reorder", delay_ps=self.delay_ps, packet=packet)
         return self.delay_ps
 
 

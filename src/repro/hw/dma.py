@@ -124,6 +124,12 @@ class DmaEngine:
                     self.sim.now, "packet", "drop",
                     {"dma": self.name, "reason": "ring_full", "bytes": nbytes},
                 )
+            spans = self.sim.spans
+            if spans is not None:
+                spans.close(
+                    self.sim.now, packet, "dma_drop",
+                    detail={"dma": self.name, "reason": "ring_full"},
+                )
             return False
         self._ring.append(packet)
         if len(self._ring) > self.stats.peak_ring_occupancy:
@@ -162,6 +168,12 @@ class DmaEngine:
             tracer.instant(
                 self.sim.now, "packet", "host",
                 {"dma": self.name, "bytes": nbytes},
+            )
+        spans = self.sim.spans
+        if spans is not None:
+            spans.close(
+                self.sim.now, packet, "delivered",
+                name="host", detail={"dma": self.name, "bytes": nbytes},
             )
         if self.on_host_deliver is not None:
             self.on_host_deliver(packet)

@@ -121,6 +121,9 @@ class TxMac:
         tracer = self.sim.tracer
         if tracer is not None:
             tracer.instant(now, "packet", "tx", {"mac": self.name, "bytes": frame_len})
+        spans = self.sim.spans
+        if spans is not None:
+            spans.hop(now, packet, "mac_tx", {"mac": self.name, "bytes": frame_len})
         if self._deliver is not None:
             self.sim.call_after(serialize_ps + self._delivery_delay_ps, self._deliver, packet)
         self.sim.call_after(slot_ps, self._start_next)
@@ -150,5 +153,8 @@ class RxMac:
             tracer.instant(
                 self.sim.now, "packet", "rx", {"mac": self.name, "bytes": packet.frame_length}
             )
+        spans = self.sim.spans
+        if spans is not None:
+            spans.hop(self.sim.now, packet, "mac_rx", {"mac": self.name})
         for sink in self._sinks:
             sink(packet)

@@ -88,6 +88,29 @@ class OflopsContext:
         combined.update(self.metrics.snapshot())
         return dict(sorted(combined.items()))
 
+    def snapshot_openmetrics(self) -> str:
+        """The combined snapshot as OpenMetrics text (``oflops`` prefix)."""
+        from ..telemetry import snapshot_to_openmetrics
+
+        return snapshot_to_openmetrics(self.snapshot(), prefix="oflops")
+
+    def arm_observability(self, spans=None, profiler=None, tracer=None):
+        """Attach observability hooks to this context's simulator.
+
+        Any of a :class:`~repro.obs.SpanRecorder`, a
+        :class:`~repro.obs.SimProfiler` and a
+        :class:`~repro.telemetry.Tracer` may be passed; whichever are
+        given get armed on ``self.sim``, and the tuple
+        ``(spans, profiler, tracer)`` is returned for chaining.
+        """
+        if tracer is not None:
+            self.sim.set_tracer(tracer)
+        if spans is not None:
+            spans.arm(self.sim)
+        if profiler is not None:
+            profiler.attach(self.sim)
+        return spans, profiler, tracer
+
     @property
     def switch(self):
         return self.testbed.switch

@@ -206,7 +206,12 @@ def telemetry_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--rate", default="5Gbps", help='target rate, e.g. "5Gbps"')
     parser.add_argument("--duration-ms", type=float, default=1.0, help="simulated run length")
     parser.add_argument("--replay", metavar="PCAP", help="replay a capture instead")
-    parser.add_argument("--json", metavar="FILE", help="write the snapshot JSON here")
+    parser.add_argument("--json", metavar="FILE", help="write the snapshot here")
+    parser.add_argument(
+        "--format", choices=("json", "openmetrics"), default="json",
+        help="snapshot output format: JSON document (default) or "
+        "OpenMetrics text exposition",
+    )
     parser.add_argument("--csv", metavar="FILE", help="also write a flat metric,value CSV")
     parser.add_argument(
         "--trace", metavar="FILE", help="record and write a Chrome trace_event file"
@@ -227,6 +232,7 @@ def telemetry_main(argv: Optional[List[str]] = None) -> int:
         Tracer,
         registry_histograms_to_dict,
         snapshot_to_json,
+        snapshot_to_openmetrics,
         write_chrome_trace,
         write_snapshot_csv,
     )
@@ -255,15 +261,20 @@ def telemetry_main(argv: Optional[List[str]] = None) -> int:
     tester.device.stop_telemetry()
 
     snapshot = tester.snapshot()
-    payload = dict(snapshot)
-    if args.histograms:
-        payload["histograms"] = registry_histograms_to_dict(tester.metrics)
-    document = snapshot_to_json(payload)
+    if args.format == "openmetrics":
+        # OpenMetrics is flat text: histogram full-bucket dumps do not
+        # fit the exposition format, so --histograms only affects JSON.
+        document = snapshot_to_openmetrics(snapshot, prefix="osnt")
+    else:
+        payload = dict(snapshot)
+        if args.histograms:
+            payload["histograms"] = registry_histograms_to_dict(tester.metrics)
+        document = snapshot_to_json(payload) + "\n"
     if args.json:
         with open(args.json, "w") as handle:
-            handle.write(document + "\n")
+            handle.write(document)
     else:
-        print(document)
+        print(document, end="")
     if args.csv:
         write_snapshot_csv(args.csv, snapshot)
         print(f"wrote metrics CSV to {args.csv}", file=sys.stderr)

@@ -48,6 +48,11 @@ def render_status(tester: OSNT) -> str:
         generator = device.generators[index]
         monitor = device.monitors[index]
         latency = monitor.latency.summary()
+        # MAC drops split by cause: "inj" counts packets fault models
+        # discarded on purpose, "ovf" real RX overflow — keeping them
+        # apart is what lets an injected-loss experiment prove the
+        # datapath itself dropped nothing.
+        rx_stats = port.rx.stats
         rows.append(
             [
                 f"p{index}",
@@ -58,6 +63,8 @@ def render_status(tester: OSNT) -> str:
                 format_rate(monitor.stats.observed_bps()),
                 monitor.host.received,
                 monitor.dma_drops_at_port,
+                rx_stats.drops_injected,
+                rx_stats.drops_overflow,
                 _format_percentile(latency.p50),
                 _format_percentile(latency.p99),
                 "on" if monitor.enabled else "off",
@@ -67,7 +74,8 @@ def render_status(tester: OSNT) -> str:
         format_table(
             [
                 "port", "link", "tx pkts", "tx rate", "rx pkts", "rx rate",
-                "captured", "drops", "p50 µs", "p99 µs", "capture",
+                "captured", "drops", "inj", "ovf", "p50 µs", "p99 µs",
+                "capture",
             ],
             rows,
         )

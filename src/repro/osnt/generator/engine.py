@@ -144,12 +144,20 @@ class PortGenerator:
             packet = self.source.next_packet(index)
             if packet is None:
                 break
+            # Span birth must precede send(): an idle TX MAC serializes
+            # synchronously, so the tx_stamp/mac hops can fire inside
+            # this very call stack and need the span to exist already.
+            spans = self.sim.spans
+            if spans is not None:
+                spans.begin(self.sim.now, packet, self.name)
             if self.port.send(packet):
                 stats.sent += 1
                 stats.sent_bytes += packet.frame_length
                 self.tx_sizes.record(packet.frame_length)
             else:
                 stats.tx_fifo_drops += 1
+                if spans is not None:
+                    spans.close(self.sim.now, packet, "tx_fifo_drop")
             index += 1
             gap = self.schedule.gap_after(packet.frame_length)
             if gap > 0:

@@ -86,8 +86,16 @@ class TxTimestamper:
         if self.offset + STAMP_BYTES > len(packet.data):
             self.skipped_short += 1
             return
-        data = embed_raw(packet.data, self.offset, ps_to_raw(stamp_ps))
+        raw = ps_to_raw(stamp_ps)
+        data = embed_raw(packet.data, self.offset, raw)
         if self.fix_udp_checksum:
             data = _clear_udp_checksum(data, self.offset)
         packet.data = data
         self.stamped += 1
+        # Register the embedded raw value as the span correlation key —
+        # the exact 64-bit pattern a capture pipeline will re-extract,
+        # so matching across the DUT is exact, not ps-rounded.
+        sim = self.timestamp_unit.sim
+        spans = sim.spans
+        if spans is not None:
+            spans.note_tx_stamp(sim.now, packet, raw)

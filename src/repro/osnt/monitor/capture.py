@@ -186,13 +186,29 @@ class CapturePipeline:
                     self.latency_skipped += 1
             else:
                 self.latency_skipped += 1
+        spans = self.sim.spans
+        if spans is not None:
+            spans.hop(
+                self.sim.now, packet, "rx_capture",
+                {"monitor": self.name, "rx_ps": packet.rx_timestamp},
+            )
         if not self.enabled:
             return
         if not self.filter_bank.decide(packet.data):
+            if spans is not None:
+                spans.close(
+                    self.sim.now, packet, "filtered",
+                    detail={"monitor": self.name},
+                )
             return
         if self.hash_unit is not None:
             self.hash_unit.apply(packet)
         if not self.thinner.decide():
+            if spans is not None:
+                spans.close(
+                    self.sim.now, packet, "thinned",
+                    detail={"monitor": self.name},
+                )
             return
         self.cutter.apply(packet)
         tracer = self.sim.tracer

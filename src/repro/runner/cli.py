@@ -17,6 +17,7 @@ from typing import List, Optional
 
 from ..analysis.report import format_table
 from ..errors import SweepError
+from ..obs.flight import DEFAULT_HEARTBEAT_S
 from .execution import SweepRunner
 from .registry import get_scenario, list_scenarios
 from .spec import ExperimentSpec, canonical_json
@@ -53,8 +54,20 @@ def _load_spec(path: str) -> ExperimentSpec:
 
 def _cmd_run(args) -> int:
     spec = _load_spec(args.spec)
+    on_progress = None
+    if args.flight:
+        # Progress lines go to stderr so stdout stays clean for --merged.
+        def on_progress(line: str) -> None:
+            print(line, file=sys.stderr, flush=True)
+
     runner = SweepRunner(
-        spec, workers=args.workers, checkpoint_dir=args.checkpoint
+        spec,
+        workers=args.workers,
+        checkpoint_dir=args.checkpoint,
+        flight_dir=args.flight,
+        heartbeat_s=args.heartbeat_s,
+        stall_after_s=args.stall_after_s,
+        on_progress=on_progress,
     )
     report = runner.run(resume=not args.no_resume, max_shards=args.max_shards)
     print(report.summary())
@@ -63,6 +76,12 @@ def _cmd_run(args) -> int:
     if args.json:
         report.save_json(args.json)
         print(f"wrote report to {args.json}", file=sys.stderr)
+    if report.stalled:
+        indexes = ", ".join(str(s.index) for s in report.stalled)
+        print(
+            f"flight recorder flagged shard(s) {indexes} as stalled",
+            file=sys.stderr,
+        )
     if report.failed:
         print(
             f"{len(report.failed)} shard(s) failed after retries", file=sys.stderr
@@ -136,6 +155,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="print the canonical merged JSON document to stdout",
     )
     run_p.add_argument("--json", metavar="FILE", help="write the full report here")
+    run_p.add_argument(
+        "--flight", metavar="DIR", default=None,
+        help="flight-recorder directory: workers write heartbeat JSONL "
+        "there; enables live progress on stderr and stall detection",
+    )
+    run_p.add_argument(
+        "--heartbeat-s", type=float, default=DEFAULT_HEARTBEAT_S,
+        help=f"worker heartbeat interval in seconds (default {DEFAULT_HEARTBEAT_S})",
+    )
+    run_p.add_argument(
+        "--stall-after-s", type=float, default=None,
+        help="flag a shard as stalled after this many seconds without a "
+        "heartbeat (default 10x the heartbeat interval)",
+    )
     run_p.set_defaults(func=_cmd_run)
 
     expand_p = sub.add_parser("expand", help="show the shard expansion")

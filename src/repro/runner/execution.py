@@ -35,6 +35,14 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
 from ..errors import SweepError
+from ..obs.flight import (
+    DEFAULT_HEARTBEAT_S,
+    DEFAULT_STALL_FACTOR,
+    FlightTailer,
+    HeartbeatWriter,
+    heartbeat_path,
+    render_progress,
+)
 from .registry import get_scenario
 from .report import (
     STATUS_FAILED,
@@ -96,24 +104,42 @@ def run_shard(spec: ExperimentSpec, shard: Shard) -> Dict[str, Any]:
     return result
 
 
-def _worker_main(spec: ExperimentSpec, shard: Shard, out_path: str) -> None:
+def _worker_main(
+    spec: ExperimentSpec,
+    shard: Shard,
+    out_path: str,
+    flight_path: Optional[str] = None,
+    attempt: int = 1,
+    heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+) -> None:
     """Worker-process entry: run the shard, write the outcome, exit hard.
 
     The outcome file is written atomically (temp + rename) so the
     parent never sees a torn read; ``os._exit`` skips the parent's
     inherited atexit/teardown state (we forked from an arbitrary
-    process, possibly a test runner).
+    process, possibly a test runner). With ``flight_path`` set, a
+    :class:`~repro.obs.HeartbeatWriter` ticks in a daemon thread for
+    the parent's flight recorder to tail.
     """
     try:
+        writer = None
         try:
+            if flight_path is not None:
+                writer = HeartbeatWriter(
+                    flight_path, shard.index, attempt=attempt, interval_s=heartbeat_s
+                ).start()
             result = run_shard(spec, shard)
             payload = {"status": STATUS_OK, "result": result}
+            if writer is not None:
+                writer.stop("done")
         except BaseException as exc:  # noqa: BLE001 — report, don't die silently
             payload = {
                 "status": STATUS_FAILED,
                 "error": f"{type(exc).__name__}: {exc}",
                 "traceback": traceback.format_exc(),
             }
+            if writer is not None:
+                writer.stop("failed")
         tmp = f"{out_path}.tmp.{os.getpid()}"
         with open(tmp, "w") as handle:
             json.dump(payload, handle)
@@ -125,12 +151,23 @@ def _worker_main(spec: ExperimentSpec, shard: Shard, out_path: str) -> None:
 class _Attempt:
     """One in-flight worker process for one shard."""
 
-    def __init__(self, ctx, spec: ExperimentSpec, shard: Shard, out_path: str) -> None:
+    def __init__(
+        self,
+        ctx,
+        spec: ExperimentSpec,
+        shard: Shard,
+        out_path: str,
+        flight_path: Optional[str] = None,
+        attempt: int = 1,
+        heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+    ) -> None:
         self.shard = shard
         self.out_path = out_path
         self.started = time.monotonic()
         self.process = ctx.Process(
-            target=_worker_main, args=(spec, shard, out_path), daemon=True
+            target=_worker_main,
+            args=(spec, shard, out_path, flight_path, attempt, heartbeat_s),
+            daemon=True,
         )
         self.process.start()
 
@@ -176,6 +213,13 @@ class SweepRunner:
 
     ``workers=0`` executes inline (no subprocesses, no timeouts) and is
     what the deprecated ``measure_*`` wrappers use under the hood.
+
+    ``flight_dir`` arms the flight recorder (:mod:`repro.obs.flight`):
+    workers write heartbeat files there, the parent tails them into a
+    live progress/ETA line (``on_progress`` callback) and flags shards
+    with no heartbeat within ``stall_after_s`` (default
+    ``10×heartbeat_s``) as *stalled* in the report. All of it is
+    operational telemetry — the merged document is unaffected.
     """
 
     def __init__(
@@ -184,12 +228,28 @@ class SweepRunner:
         workers: int = 1,
         checkpoint_dir: Optional[Union[str, Path]] = None,
         start_method: Optional[str] = None,
+        flight_dir: Optional[Union[str, Path]] = None,
+        heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+        stall_after_s: Optional[float] = None,
+        on_progress=None,
+        progress_interval_s: float = 1.0,
     ) -> None:
         if workers < 0:
             raise SweepError(f"workers must be >= 0, got {workers}")
+        if heartbeat_s <= 0:
+            raise SweepError(f"heartbeat_s must be > 0, got {heartbeat_s}")
         self.spec = spec
         self.workers = workers
         self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
+        self.flight_dir = Path(flight_dir) if flight_dir else None
+        self.heartbeat_s = heartbeat_s
+        self.stall_after_s = (
+            stall_after_s
+            if stall_after_s is not None
+            else DEFAULT_STALL_FACTOR * heartbeat_s
+        )
+        self.on_progress = on_progress
+        self.progress_interval_s = progress_interval_s
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
@@ -304,20 +364,42 @@ class SweepRunner:
         start = time.monotonic()
         for attempt in range(1 + self.spec.retries):
             record.attempts = attempt + 1
+            writer = None
+            if self.flight_dir is not None:
+                # Inline mode still writes heartbeats (no stall watcher:
+                # there is no parent loop running concurrently to tail).
+                self.flight_dir.mkdir(parents=True, exist_ok=True)
+                writer = HeartbeatWriter(
+                    heartbeat_path(self.flight_dir, shard.index, attempt + 1),
+                    shard.index,
+                    attempt=attempt + 1,
+                    interval_s=self.heartbeat_s,
+                ).start()
             try:
                 record.result = run_shard(self.spec, shard)
                 record.status = STATUS_OK
                 record.error = None
+                if writer is not None:
+                    writer.stop("done")
                 break
             except Exception as exc:  # noqa: BLE001 — recorded, retried
                 record.status = STATUS_FAILED
                 record.error = f"{type(exc).__name__}: {exc}"
+                if writer is not None:
+                    writer.stop("failed")
         record.elapsed_s = time.monotonic() - start
         self._checkpoint(record)
         return record
 
     def _run_pool(self, todo: List[Shard], records: Dict[int, ShardResult]) -> None:
         """The worker-pool scheduler: launch, poll, retry, collect."""
+        tailer: Optional[FlightTailer] = None
+        if self.flight_dir is not None:
+            self.flight_dir.mkdir(parents=True, exist_ok=True)
+            tailer = FlightTailer(self.flight_dir, stall_after_s=self.stall_after_s)
+        total = len(records) + len(todo)
+        sweep_started = time.monotonic()
+        last_progress = 0.0
         with tempfile.TemporaryDirectory(prefix="repro-sweep-") as scratch:
             pending = list(todo)
             attempts_used: Dict[int, int] = {shard.index: 0 for shard in todo}
@@ -333,7 +415,27 @@ class SweepRunner:
                             scratch,
                             f"shard-{shard.index:05d}-a{attempts_used[shard.index]}.json",
                         )
-                        running.append(_Attempt(self._ctx, self.spec, shard, out))
+                        flight_path = None
+                        if tailer is not None:
+                            flight_path = str(
+                                heartbeat_path(
+                                    self.flight_dir,
+                                    shard.index,
+                                    attempts_used[shard.index],
+                                )
+                            )
+                            tailer.track(shard.index, attempts_used[shard.index])
+                        running.append(
+                            _Attempt(
+                                self._ctx,
+                                self.spec,
+                                shard,
+                                out,
+                                flight_path=flight_path,
+                                attempt=attempts_used[shard.index],
+                                heartbeat_s=self.heartbeat_s,
+                            )
+                        )
                     still_running: List[_Attempt] = []
                     for attempt in running:
                         payload = attempt.outcome(self.spec.timeout_s)
@@ -341,6 +443,8 @@ class SweepRunner:
                             still_running.append(attempt)
                             continue
                         shard = attempt.shard
+                        if tailer is not None:
+                            tailer.untrack(shard.index)
                         if payload["status"] == STATUS_OK:
                             record = ShardResult(
                                 index=shard.index,
@@ -366,11 +470,39 @@ class SweepRunner:
                                 elapsed_s=time.monotonic() - started_at[shard.index],
                             )
                     running = still_running
+                    if tailer is not None:
+                        statuses = tailer.poll()
+                        now = time.monotonic()
+                        if (
+                            self.on_progress is not None
+                            and now - last_progress >= self.progress_interval_s
+                        ):
+                            last_progress = now
+                            done = sum(1 for r in records.values() if r.ok)
+                            failed = sum(
+                                1
+                                for r in records.values()
+                                if r.status == STATUS_FAILED
+                            )
+                            self.on_progress(
+                                render_progress(
+                                    done,
+                                    failed,
+                                    total,
+                                    statuses,
+                                    now - sweep_started,
+                                )
+                            )
                     if running:
                         time.sleep(_POLL_S)
             finally:
                 for attempt in running:
                     attempt.terminate()
+        if tailer is not None:
+            for index in tailer.stalled_shards:
+                record = records.get(index)
+                if record is not None:
+                    record.stalled = True
 
 
 def run_spec(

@@ -36,6 +36,10 @@ class ShardResult:
     attempts: int = 0
     elapsed_s: float = 0.0
     from_checkpoint: bool = False
+    #: Flight-recorder stall flag (operational, like attempts/elapsed_s:
+    #: it depends on wall-clock behaviour, so it must stay out of
+    #: :meth:`merged_entry` to keep the merged document deterministic).
+    stalled: bool = False
 
     @property
     def ok(self) -> bool:
@@ -95,6 +99,12 @@ class SweepReport:
     def complete(self) -> bool:
         """Every shard reached a terminal state (ok or failed)."""
         return not self.pending
+
+    @property
+    def stalled(self) -> List[ShardResult]:
+        """Shards the flight recorder flagged as stalled at least once
+        (they may still have finished ok — stalls are advisory)."""
+        return [s for s in self.shards if s.stalled]
 
     def results(self) -> List[Dict[str, Any]]:
         """Scenario results of successful shards, in shard order."""
@@ -176,6 +186,8 @@ class SweepReport:
                 note = (s.error or "")[:60]
             elif s.from_checkpoint:
                 note = "from checkpoint"
+            if s.stalled:
+                note = f"{note} [stalled]".strip()
             rows.append(
                 [
                     s.index,
@@ -202,7 +214,12 @@ class SweepReport:
         document = {
             "merged": self.merged_dict(),
             "operational": [
-                {"index": s.index, "attempts": s.attempts, "elapsed_s": s.elapsed_s}
+                {
+                    "index": s.index,
+                    "attempts": s.attempts,
+                    "elapsed_s": s.elapsed_s,
+                    "stalled": s.stalled,
+                }
                 for s in self.shards
             ],
         }

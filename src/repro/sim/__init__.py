@@ -12,7 +12,14 @@ Public surface:
 """
 
 from .events import Event, EventQueue, PRIORITY_HIGH, PRIORITY_LOW, PRIORITY_NORMAL
-from .kernel import DEFAULT_QUEUE_IMPL, QUEUE_IMPLS, Simulator
+from .kernel import (
+    DEFAULT_QUEUE_IMPL,
+    QUEUE_IMPLS,
+    Simulator,
+    add_creation_hook,
+    current_simulator,
+    remove_creation_hook,
+)
 from .process import Process, Signal, spawn
 from .random import RandomStreams
 from .wheel import TimingWheelQueue
@@ -30,5 +37,8 @@ __all__ = [
     "Signal",
     "Simulator",
     "TimingWheelQueue",
+    "add_creation_hook",
+    "current_simulator",
+    "remove_creation_hook",
     "spawn",
 ]

@@ -14,7 +14,8 @@ produces bit-identical results.
 from __future__ import annotations
 
 import os
-from typing import Any, Callable, Optional
+import weakref
+from typing import Any, Callable, List, Optional
 
 from ..errors import ConfigError, SimulationError
 from .events import Event, EventQueue, PRIORITY_NORMAL
@@ -27,6 +28,35 @@ from .wheel import TimingWheelQueue
 #: ``REPRO_EVENT_QUEUE=heap`` or ``Simulator(event_queue="heap")``).
 QUEUE_IMPLS = {"heap": EventQueue, "wheel": TimingWheelQueue}
 DEFAULT_QUEUE_IMPL = "wheel"
+
+#: Observability registry (:mod:`repro.obs`): callbacks invoked with each
+#: newly constructed :class:`Simulator`, plus a weak pointer to the most
+#: recent one. This is how cross-process tooling (the sweep flight
+#: recorder's heartbeat sampler) and ``observe_simulators`` arm
+#: observability on simulators created deep inside scenario code without
+#: threading arguments through every constructor. Cost when unused: one
+#: weakref and one truthiness check per Simulator created.
+_CREATION_HOOKS: List[Callable[["Simulator"], None]] = []
+_CURRENT_SIM: Optional["weakref.ref"] = None
+
+
+def add_creation_hook(hook: Callable[["Simulator"], None]) -> None:
+    """Register ``hook(sim)`` to run for every Simulator created."""
+    _CREATION_HOOKS.append(hook)
+
+
+def remove_creation_hook(hook: Callable[["Simulator"], None]) -> None:
+    """Remove a previously added creation hook (no-op if absent)."""
+    try:
+        _CREATION_HOOKS.remove(hook)
+    except ValueError:
+        pass
+
+
+def current_simulator() -> Optional["Simulator"]:
+    """The most recently created live Simulator in this process, if any."""
+    ref = _CURRENT_SIM
+    return None if ref is None else ref()
 
 
 class Simulator:
@@ -55,6 +85,20 @@ class Simulator:
         #: When None (the default) each hot path pays one None check.
         self._trace_sched: Optional[Callable[[Any], None]] = None
         self._trace_fire: Optional[Callable[[Any], None]] = None
+        #: Armed :class:`repro.obs.SpanRecorder`, or None. Instrumented
+        #: components read this directly (``spans = sim.spans``) so the
+        #: disarmed datapath pays one attribute load + None check.
+        self.spans: Optional[Any] = None
+        #: Opt-in dispatch profiler (see :meth:`set_profiler`): when set,
+        #: the run loop routes ``event.callback(*args)`` through
+        #: ``profiler.dispatch(event)`` for wall-clock attribution.
+        self._profiler: Optional[Any] = None
+        self._profile_dispatch: Optional[Callable[[Any], None]] = None
+        global _CURRENT_SIM
+        _CURRENT_SIM = weakref.ref(self)
+        if _CREATION_HOOKS:
+            for hook in list(_CREATION_HOOKS):
+                hook(self)
 
     # -- clock ---------------------------------------------------------
 
@@ -104,6 +148,27 @@ class Simulator:
     def events_scheduled(self) -> int:
         """Total events ever created on this simulator."""
         return self._seq
+
+    # -- profiling -------------------------------------------------------
+
+    @property
+    def profiler(self) -> Optional[Any]:
+        """The attached dispatch profiler, if any (see :meth:`set_profiler`)."""
+        return self._profiler
+
+    def set_profiler(self, profiler: Optional[Any]) -> None:
+        """Attach (or with None, detach) a dispatch profiler.
+
+        Normally a :class:`repro.obs.SimProfiler`. While attached, every
+        fired event is dispatched through ``profiler.dispatch(event)``
+        instead of calling ``event.callback(*event.args)`` directly, so
+        the profiler can attribute wall-clock time to handlers. The
+        dispatch method is cached like the trace hooks; when detached
+        the run loop pays only a None check per event. Takes effect on
+        the next :meth:`run` call (the loop binds the hook on entry).
+        """
+        self._profiler = profiler
+        self._profile_dispatch = None if profiler is None else profiler.dispatch
 
     # -- scheduling ------------------------------------------------------
 
@@ -183,7 +248,11 @@ class Simulator:
         trace = self._trace_fire
         if trace is not None:
             trace(event)
-        event.callback(*event.args)
+        profile = self._profile_dispatch
+        if profile is None:
+            event.callback(*event.args)
+        else:
+            profile(event)
         return True
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
@@ -205,6 +274,7 @@ class Simulator:
         queue = self._queue
         peek_time = queue.peek_time
         pop = queue.pop
+        profile = self._profile_dispatch
         fired = 0
         try:
             # The dispatch loop inlines step() — one Python frame per
@@ -230,7 +300,10 @@ class Simulator:
                 trace = self._trace_fire
                 if trace is not None:
                     trace(event)
-                event.callback(*event.args)
+                if profile is None:
+                    event.callback(*event.args)
+                else:
+                    profile(event)
                 fired += 1
         finally:
             self._running = False

@@ -12,7 +12,9 @@ CLI, benchmarks and OFLOPS modules:
 * :class:`MetricsRegistry` — named counters/gauges/histograms with
   deterministic ``snapshot()`` semantics; one call reads the whole card;
 * :mod:`~repro.telemetry.export` — JSON/CSV snapshot serialization and
-  Chrome trace files.
+  Chrome trace files;
+* :mod:`~repro.telemetry.openmetrics` — OpenMetrics text exposition of
+  any snapshot (plus the strict parser the CI smoke uses to check it).
 
 Attach a tracer with ``sim.set_tracer(Tracer())``; read a card with
 ``device.snapshot()`` after ``device.start_telemetry()``.
@@ -31,6 +33,12 @@ from .export import (
 )
 from .histogram import DEFAULT_SUBBUCKET_BITS, HistogramSummary, LogLinearHistogram
 from .metrics import Counter, Gauge, MetricsRegistry
+from .openmetrics import (
+    metric_name,
+    parse_openmetrics,
+    snapshot_to_openmetrics,
+    write_openmetrics,
+)
 from .trace import DEFAULT_CAPACITY, TraceBuffer, Tracer, resolve_tracer
 
 __all__ = [
@@ -46,11 +54,15 @@ __all__ = [
     "chrome_trace",
     "chrome_trace_json",
     "flatten_snapshot",
+    "metric_name",
+    "parse_openmetrics",
     "registry_histograms_to_dict",
     "resolve_tracer",
     "snapshot_to_csv",
     "snapshot_to_json",
+    "snapshot_to_openmetrics",
     "write_chrome_trace",
+    "write_openmetrics",
     "write_snapshot_csv",
     "write_snapshot_json",
 ]

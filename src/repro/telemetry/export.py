@@ -75,31 +75,45 @@ def registry_histograms_to_dict(registry: MetricsRegistry) -> Dict[str, Any]:
 # -- Chrome traces -----------------------------------------------------------
 
 
-def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
+def chrome_trace(tracer: Tracer, span_recorder=None) -> Dict[str, Any]:
     """The tracer's buffer as a Chrome trace document (object form).
 
     The object form (``{"traceEvents": [...]}``) is what the trace
     viewers accept alongside the bare-array form, and it leaves room
     for metadata such as the eviction count.
+
+    ``span_recorder`` (a :class:`repro.obs.SpanRecorder`) nests its
+    packet-lifecycle spans into the same document: each span renders as
+    its own begin/end track beside the tracer's instants, so causal
+    packet stories and kernel events load in one Perfetto view.
     """
+    events = tracer.chrome_events()
+    other: Dict[str, Any] = {
+        "recorded": tracer.recorded,
+        "evicted": tracer.evicted,
+        "capacity": tracer.capacity,
+    }
+    if span_recorder is not None:
+        events = events + span_recorder.chrome_events()
+        other["spans"] = {
+            "started": span_recorder.started,
+            "evicted": span_recorder.evicted,
+            "stamp_matches": span_recorder.stamp_matches,
+        }
     return {
-        "traceEvents": tracer.chrome_events(),
+        "traceEvents": events,
         "displayTimeUnit": "ms",
-        "otherData": {
-            "recorded": tracer.recorded,
-            "evicted": tracer.evicted,
-            "capacity": tracer.capacity,
-        },
+        "otherData": other,
     }
 
 
-def chrome_trace_json(tracer: Tracer, indent: int = None) -> str:
+def chrome_trace_json(tracer: Tracer, indent: int = None, span_recorder=None) -> str:
     """The Chrome trace document serialized to a JSON string."""
-    return json.dumps(chrome_trace(tracer), indent=indent)
+    return json.dumps(chrome_trace(tracer, span_recorder=span_recorder), indent=indent)
 
 
-def write_chrome_trace(path: PathLike, tracer: Tracer) -> int:
+def write_chrome_trace(path: PathLike, tracer: Tracer, span_recorder=None) -> int:
     """Write the trace JSON; returns the number of events written."""
-    document = chrome_trace(tracer)
+    document = chrome_trace(tracer, span_recorder=span_recorder)
     Path(path).write_text(json.dumps(document))
     return len(document["traceEvents"])

@@ -140,6 +140,11 @@ class MetricsRegistry:
 
         Counters snapshot to ints, gauges to their current value,
         histograms to their :class:`~.histogram.HistogramSummary` dict.
+
+        A source-backed gauge whose callable raises (a component torn
+        down between registration and read) records the error as an
+        ``"<error: ...>"`` string under its name instead of aborting
+        the whole snapshot — one dead gauge must not blind the card.
         """
         result: Dict[str, Any] = {}
         for name in sorted(self._metrics):
@@ -147,7 +152,10 @@ class MetricsRegistry:
             if isinstance(metric, Counter):
                 result[name] = metric.value
             elif isinstance(metric, Gauge):
-                result[name] = metric.value()
+                try:
+                    result[name] = metric.value()
+                except Exception as exc:  # noqa: BLE001 — recorded in-band
+                    result[name] = f"<error: {type(exc).__name__}: {exc}>"
             else:
                 result[name] = metric.summary().as_dict()
         return result

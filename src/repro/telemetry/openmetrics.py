@@ -1,0 +1,196 @@
+"""OpenMetrics text exposition for :class:`MetricsRegistry` snapshots.
+
+Turns a ``registry.snapshot()`` dict into the OpenMetrics text format
+(the stricter successor of the Prometheus exposition format), so merged
+sweep telemetry can be scraped, stored or diffed with standard tooling:
+
+* counters and gauges become ``gauge`` samples (a snapshot is a point
+  read — monotonicity is the registry's concern, not the wire's);
+* histogram summaries (the ``{"count", "mean", "p50", ...}`` sub-dicts)
+  become ``summary`` families with ``quantile`` labels plus the
+  ``_count``/``_sum`` samples;
+* non-numeric values (e.g. the ``"<error: ...>"`` strings a hardened
+  snapshot records for dead gauges) are skipped, counted in the
+  ``# skipped`` comment.
+
+:func:`parse_openmetrics` is the matching strict line parser, used by
+the tests and the CI smoke job to validate exporter output.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Tuple, Union
+
+#: Characters legal in an OpenMetrics metric name.
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="([^"\\]*)"$')
+_SANITIZE_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+#: Histogram-summary keys exported as ``quantile`` samples.
+SUMMARY_QUANTILES: Tuple[Tuple[str, str], ...] = (
+    ("p50", "0.5"),
+    ("p90", "0.9"),
+    ("p99", "0.99"),
+    ("p999", "0.999"),
+)
+
+_TYPES = frozenset({"gauge", "counter", "summary", "histogram", "info", "unknown"})
+
+
+def metric_name(name: str, prefix: str = "") -> str:
+    """A snapshot key as a legal OpenMetrics name (dots → underscores)."""
+    full = f"{prefix}_{name}" if prefix else name
+    sanitized = _SANITIZE_RE.sub("_", full)
+    if not sanitized or not _NAME_RE.match(sanitized):
+        sanitized = f"_{sanitized}"
+    return sanitized
+
+
+def _format_value(value: Union[int, float, bool]) -> str:
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _is_summary_dict(value: Any) -> bool:
+    return isinstance(value, dict) and "count" in value
+
+
+def snapshot_to_openmetrics(snapshot: Dict[str, Any], prefix: str = "") -> str:
+    """A snapshot dict in OpenMetrics text format (``# EOF`` included).
+
+    Raises :class:`ValueError` if two distinct snapshot keys sanitize to
+    the same metric name (families must not repeat or interleave).
+    """
+    lines: List[str] = []
+    seen: Dict[str, str] = {}
+    skipped = 0
+    for name in sorted(snapshot):
+        value = snapshot[name]
+        om_name = metric_name(name, prefix)
+        previous = seen.get(om_name)
+        if previous is not None:
+            raise ValueError(
+                f"snapshot keys {previous!r} and {name!r} both sanitize to "
+                f"OpenMetrics name {om_name!r}"
+            )
+        if _is_summary_dict(value):
+            seen[om_name] = name
+            lines.append(f"# TYPE {om_name} summary")
+            for key, quantile in SUMMARY_QUANTILES:
+                sample = value.get(key)
+                if isinstance(sample, (int, float)) and not isinstance(sample, bool):
+                    lines.append(
+                        f'{om_name}{{quantile="{quantile}"}} {_format_value(sample)}'
+                    )
+            count = value.get("count", 0)
+            mean = value.get("mean")
+            total = mean * count if isinstance(mean, (int, float)) and count else 0
+            lines.append(f"{om_name}_count {_format_value(count)}")
+            lines.append(f"{om_name}_sum {_format_value(total)}")
+        elif isinstance(value, (int, float)):  # bool is an int subclass
+            seen[om_name] = name
+            lines.append(f"# TYPE {om_name} gauge")
+            lines.append(f"{om_name} {_format_value(value)}")
+        else:
+            skipped += 1
+    if skipped:
+        lines.append(f"# skipped {skipped} non-numeric metric(s)")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_openmetrics(
+    path: Union[str, Path], snapshot: Dict[str, Any], prefix: str = ""
+) -> None:
+    """Write a snapshot in OpenMetrics text format."""
+    Path(path).write_text(snapshot_to_openmetrics(snapshot, prefix=prefix))
+
+
+def _parse_sample_name(sample: str) -> Tuple[str, Dict[str, str]]:
+    """Split ``name{label="v",...}`` into (name, labels); strict."""
+    if "{" not in sample:
+        return sample, {}
+    if not sample.endswith("}"):
+        raise ValueError(f"malformed sample name {sample!r}")
+    name, _, label_blob = sample.partition("{")
+    labels: Dict[str, str] = {}
+    body = label_blob[:-1]
+    if body:
+        for part in body.split(","):
+            match = _LABEL_RE.match(part)
+            if match is None:
+                raise ValueError(f"malformed label {part!r} in {sample!r}")
+            labels[match.group(1)] = match.group(2)
+    return name, labels
+
+
+def parse_openmetrics(text: str) -> Dict[str, Dict[str, Any]]:
+    """Strictly parse/validate OpenMetrics text; raises ``ValueError``.
+
+    Enforces: exactly one terminating ``# EOF`` line; every ``# TYPE``
+    names a legal metric and a known type, declared once; every sample
+    belongs to the most recently declared family (no interleaving; the
+    ``_count``/``_sum``/``_bucket`` suffixes attach to their family);
+    every value parses as a float. Returns ``{family: {"type": ...,
+    "samples": [(name, labels, value)]}}``.
+    """
+    if not text.endswith("\n"):
+        raise ValueError("document must end with a newline")
+    lines = text.split("\n")[:-1]
+    if not lines or lines[-1] != "# EOF":
+        raise ValueError("document must terminate with a '# EOF' line")
+    families: Dict[str, Dict[str, Any]] = {}
+    current: str = ""
+    for lineno, line in enumerate(lines[:-1], start=1):
+        if line == "# EOF":
+            raise ValueError(f"line {lineno}: '# EOF' before end of document")
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                raise ValueError(f"line {lineno}: malformed TYPE line {line!r}")
+            _, _, family, family_type = parts
+            if not _NAME_RE.match(family):
+                raise ValueError(f"line {lineno}: illegal metric name {family!r}")
+            if family_type not in _TYPES:
+                raise ValueError(f"line {lineno}: unknown type {family_type!r}")
+            if family in families:
+                raise ValueError(f"line {lineno}: family {family!r} declared twice")
+            families[family] = {"type": family_type, "samples": []}
+            current = family
+            continue
+        if line.startswith("#"):
+            continue  # comments are legal anywhere
+        if not line.strip():
+            raise ValueError(f"line {lineno}: blank line is not allowed")
+        try:
+            sample_part, value_part = line.rsplit(" ", 1)
+        except ValueError:
+            raise ValueError(f"line {lineno}: malformed sample line {line!r}") from None
+        name, labels = _parse_sample_name(sample_part)
+        if not _NAME_RE.match(name):
+            raise ValueError(f"line {lineno}: illegal sample name {name!r}")
+        base = name
+        for suffix in ("_count", "_sum", "_bucket"):
+            if name.endswith(suffix) and name[: -len(suffix)] in families:
+                base = name[: -len(suffix)]
+                break
+        if base not in families:
+            raise ValueError(f"line {lineno}: sample {name!r} has no TYPE declaration")
+        if base != current:
+            raise ValueError(
+                f"line {lineno}: sample {name!r} interleaves family {base!r} "
+                f"(current family is {current!r})"
+            )
+        try:
+            value = float(value_part)
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: value {value_part!r} is not a number"
+            ) from None
+        families[base]["samples"].append((name, labels, value))
+    return families

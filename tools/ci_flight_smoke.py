@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""CI smoke for the flight recorder and the OpenMetrics exporter.
+
+Runs a 4-shard ``sleep`` sweep with the flight recorder armed twice:
+
+1. **liveness** — a normal heartbeat interval: every shard must produce
+   heartbeat files with ``start``/``done`` beats and no stall flags;
+2. **stall detection** — an artificially low stall threshold against a
+   heartbeat interval far above it, so the gap after each worker's
+   ``start`` beat *must* be flagged while the shards still finish ok
+   (stalls are advisory).
+
+Then exercises the OpenMetrics path end to end: a short telemetry
+loopback run exported with ``--format openmetrics`` and validated with
+the strict parser (:func:`repro.telemetry.parse_openmetrics`).
+
+Exits non-zero with a diagnostic on any violated expectation.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.obs import heartbeat_path, read_heartbeats
+from repro.runner import ExperimentSpec, SweepRunner
+from repro.telemetry import parse_openmetrics
+
+
+def fail(message: str) -> None:
+    print(f"ci_flight_smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def sleep_spec(name: str, duration_s: float) -> ExperimentSpec:
+    return ExperimentSpec(
+        name=name,
+        scenario="sleep",
+        params={},
+        axes={"duration_s": [duration_s] * 4},
+        timeout_s=60.0,
+        retries=0,
+    )
+
+
+def check_liveness(root: Path) -> None:
+    flight = root / "flight-live"
+    progress_lines: list = []
+    runner = SweepRunner(
+        sleep_spec("ci-flight-live", 0.4),
+        workers=2,
+        flight_dir=flight,
+        heartbeat_s=0.1,
+        on_progress=progress_lines.append,
+        progress_interval_s=0.2,
+    )
+    report = runner.run()
+    if len(report.ok) != 4:
+        fail(f"liveness sweep: expected 4 ok shards, got {len(report.ok)}")
+    if report.stalled:
+        fail(f"liveness sweep flagged stalls: {[s.index for s in report.stalled]}")
+    for index in range(4):
+        beats = read_heartbeats(heartbeat_path(flight, index, 1))
+        kinds = [beat["kind"] for beat in beats]
+        if not kinds or kinds[0] != "start" or kinds[-1] != "done":
+            fail(f"shard {index}: bad heartbeat kinds {kinds}")
+        if len(beats) < 3:
+            fail(f"shard {index}: only {len(beats)} beats for a 0.4s shard")
+    if not progress_lines:
+        fail("no live progress lines were emitted")
+    print(f"liveness ok: 4 shards, progress lines: {len(progress_lines)}")
+    print(f"  last: {progress_lines[-1]}")
+
+
+def check_stall_detection(root: Path) -> None:
+    runner = SweepRunner(
+        sleep_spec("ci-flight-stall", 0.6),
+        workers=2,
+        flight_dir=root / "flight-stall",
+        heartbeat_s=30.0,  # far above the threshold: only "start" lands
+        stall_after_s=0.2,
+    )
+    report = runner.run()
+    if len(report.ok) != 4:
+        fail(f"stall sweep: expected 4 ok shards, got {len(report.ok)}")
+    stalled = sorted(s.index for s in report.stalled)
+    if stalled != [0, 1, 2, 3]:
+        fail(f"stall detection missed shards: flagged {stalled}, expected all 4")
+    if "[stalled]" not in report.summary():
+        fail("summary() does not surface the stall flags")
+    print(f"stall detection ok: flagged {stalled} (all shards still completed)")
+
+
+def check_openmetrics(root: Path) -> None:
+    from repro.osnt.cli import telemetry_main
+
+    out = root / "card.om"
+    code = telemetry_main(
+        ["--duration-ms", "0.2", "--format", "openmetrics", "--json", str(out)]
+    )
+    if code != 0:
+        fail(f"osnt-telemetry --format openmetrics exited {code}")
+    text = out.read_text()
+    families = parse_openmetrics(text)  # raises on any format violation
+    if not any(name.startswith("osnt_") for name in families):
+        fail(f"no osnt_-prefixed families in the exposition ({len(families)})")
+    summaries = [n for n, f in families.items() if f["type"] == "summary"]
+    if not summaries:
+        fail("expected at least one summary family (latency histogram)")
+    print(
+        f"openmetrics ok: {len(families)} families "
+        f"({len(summaries)} summaries), {len(text.splitlines())} lines"
+    )
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="ci-flight-") as tmp:
+        root = Path(tmp)
+        check_liveness(root)
+        check_stall_detection(root)
+        check_openmetrics(root)
+    print("ci_flight_smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
