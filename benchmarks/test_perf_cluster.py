@@ -1,0 +1,69 @@
+"""Perf: a warm result cache must make reruns essentially free.
+
+The content-addressed store exists to skip work: a rerun of an
+already-computed sweep should serve every shard from disk instead of
+executing it. This benchmark runs an 8-shard wall-clock-bound sweep
+cold (every shard sleeps), then warm against the same store, and
+asserts the warm rerun is at least 5x faster — while the merged
+documents stay bit-identical, because a cache hit returns the same
+bytes a cold execution produced.
+"""
+
+import time
+
+from conftest import emit, run_once
+
+from repro.analysis import format_table
+from repro.runner import ExperimentSpec, run_spec
+
+SHARDS = 8
+SHARD_SLEEP_S = 0.25
+MIN_SPEEDUP = 5.0
+
+
+def _timed_run(spec, store_dir):
+    start = time.monotonic()
+    report = run_spec(spec, workers=2, cache_dir=store_dir)
+    elapsed = time.monotonic() - start
+    report.require_ok()
+    return elapsed, report
+
+
+def test_perf_warm_cache_rerun(benchmark, tmp_path):
+    spec = ExperimentSpec(
+        name="perf-cache",
+        scenario="sleep",
+        params={"duration_s": SHARD_SLEEP_S},
+        repeats=SHARDS,
+        retries=1,
+        timeout_s=30.0,
+    )
+    store_dir = tmp_path / "store"
+
+    def compare():
+        cold, cold_report = _timed_run(spec, store_dir)
+        warm, warm_report = _timed_run(spec, store_dir)
+        assert not cold_report.from_cache
+        assert len(warm_report.from_cache) == SHARDS
+        assert warm_report.merged_json() == cold_report.merged_json()
+        return cold, warm
+
+    cold, warm = run_once(benchmark, compare)
+    speedup = cold / warm
+    emit(
+        format_table(
+            ["run", "shards", "cache hits", "wall s", "speedup"],
+            [
+                ["cold", SHARDS, 0, f"{cold:.2f}", "1.00x"],
+                ["warm", SHARDS, SHARDS, f"{warm:.2f}", f"{speedup:.2f}x"],
+            ],
+            title=(
+                f"warm-cache rerun of {SHARDS}x{SHARD_SLEEP_S}s shards "
+                f"(budget: >={MIN_SPEEDUP:.0f}x)"
+            ),
+        )
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm-cache rerun only {speedup:.2f}x faster than cold "
+        f"(budget {MIN_SPEEDUP:.0f}x): the store is not serving shards"
+    )

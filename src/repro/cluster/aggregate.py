@@ -1,0 +1,94 @@
+"""Fold per-worker telemetry snapshots into one OpenMetrics exposition.
+
+Each remote worker reports a metrics snapshot while draining (its
+operational counters plus the numeric fold of the shard telemetry it
+produced). :func:`workers_openmetrics` merges those per-worker dicts
+into a single valid OpenMetrics document in which every sample carries
+a ``worker`` label — one scrape shows the whole fleet, per host:
+
+    osnt_worker_shards_ok{worker="spawn-0"} 5
+    osnt_worker_shards_ok{worker="spawn-1"} 3
+
+Families are grouped (one ``# TYPE`` line each, all worker samples
+beneath it), so the output passes the strict
+:func:`repro.telemetry.parse_openmetrics` validator. Histogram
+summaries (sub-dicts with ``count``/``mean``/``p50``...) become
+``summary`` families with ``quantile`` + ``worker`` labels.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..telemetry.openmetrics import (
+    SUMMARY_QUANTILES,
+    _format_value,
+    _is_summary_dict,
+    metric_name,
+)
+
+#: Default metric-name prefix for worker snapshots.
+WORKER_PREFIX = "osnt_worker"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "_").replace('"', "_").replace("\n", "_")
+
+
+def workers_openmetrics(
+    snapshots: Dict[str, Dict[str, Any]], prefix: str = WORKER_PREFIX
+) -> str:
+    """One OpenMetrics document over ``{worker_name: snapshot}`` dicts.
+
+    Raises :class:`ValueError` when two distinct snapshot keys sanitize
+    to the same metric name (the exposition would be ambiguous).
+    """
+    by_metric: Dict[str, Dict[str, Any]] = {}
+    origin: Dict[str, str] = {}
+    for worker in sorted(snapshots):
+        snapshot = snapshots[worker] or {}
+        for key in sorted(snapshot):
+            value = snapshot[key]
+            is_summary = _is_summary_dict(value)
+            if not is_summary and not isinstance(value, (int, float)):
+                continue  # non-numeric diagnostic values are not exported
+            name = metric_name(key, prefix)
+            recorded = origin.get(name)
+            if recorded is not None and recorded != key:
+                raise ValueError(
+                    f"snapshot keys {recorded!r} and {key!r} both sanitize to "
+                    f"OpenMetrics name {name!r}"
+                )
+            origin[name] = key
+            family = by_metric.setdefault(
+                name, {"type": "summary" if is_summary else "gauge", "samples": {}}
+            )
+            family["samples"][worker] = value
+    lines: List[str] = []
+    for name in sorted(by_metric):
+        family = by_metric[name]
+        lines.append(f"# TYPE {name} {family['type']}")
+        if family["type"] == "gauge":
+            for worker, value in family["samples"].items():
+                lines.append(
+                    f'{name}{{worker="{_escape(worker)}"}} {_format_value(value)}'
+                )
+        else:
+            for worker, value in family["samples"].items():
+                label = f'worker="{_escape(worker)}"'
+                for key, quantile in SUMMARY_QUANTILES:
+                    sample = value.get(key)
+                    if isinstance(sample, (int, float)) and not isinstance(
+                        sample, bool
+                    ):
+                        lines.append(
+                            f'{name}{{quantile="{quantile}",{label}}} '
+                            f"{_format_value(sample)}"
+                        )
+                count = value.get("count", 0)
+                mean = value.get("mean")
+                total = mean * count if isinstance(mean, (int, float)) and count else 0
+                lines.append(f"{name}_count{{{label}}} {_format_value(count)}")
+                lines.append(f"{name}_sum{{{label}}} {_format_value(total)}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,121 @@
+"""Length-prefixed JSON framing for the sweep scheduler's socket backend.
+
+One frame = a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON (an object with a ``"type"`` key). Small, explicit
+and debuggable with ``nc``/``xxd`` — the protocol moves shard
+descriptions and heartbeat lines, not packet data, so framing overhead
+is irrelevant.
+
+Message types (``v`` = :data:`PROTOCOL_VERSION` in every frame):
+
+========== ========= ====================================================
+type       direction meaning
+========== ========= ====================================================
+hello      w -> s    worker announces itself (name, pid, code version)
+welcome    s -> w    spec + heartbeat interval; worker may now pull
+request    w -> s    pull-based work stealing: "give me a shard"
+shard      s -> w    one shard assignment (shard dict + attempt number)
+beat       w -> s    flight-recorder heartbeat line (PR-5 format + worker)
+result     w -> s    terminal outcome payload for an assignment
+drain      s -> w    no more work — send telemetry/bye and exit
+telemetry  w -> s    worker's metrics snapshot (sent while draining)
+bye        w -> s    clean goodbye; the socket closes after this
+========== ========= ====================================================
+
+The blocking helpers (:func:`send_frame`/:func:`recv_frame`) serve the
+worker; the parent multiplexes many workers with a :class:`FrameDecoder`
+fed from non-blocking reads.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Dict, List, Optional
+
+from ..errors import SweepError
+
+#: Protocol version stamped into every frame.
+PROTOCOL_VERSION = 1
+#: Refuse frames larger than this (a corrupt length prefix otherwise
+#: asks us to allocate gigabytes).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+def encode_frame(message: Dict[str, Any]) -> bytes:
+    """One message as wire bytes (length prefix + JSON)."""
+    message.setdefault("v", PROTOCOL_VERSION)
+    payload = json.dumps(message, sort_keys=True).encode()
+    if len(payload) > MAX_FRAME_BYTES:
+        raise SweepError(f"frame of {len(payload)} bytes exceeds the protocol limit")
+    return _LEN.pack(len(payload)) + payload
+
+
+def send_frame(sock: socket.socket, message: Dict[str, Any]) -> None:
+    """Send one message on a blocking socket."""
+    sock.sendall(encode_frame(message))
+
+
+def recv_frame(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """Receive one message from a blocking socket; None on clean EOF."""
+    header = _recv_exact(sock, _LEN.size)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise SweepError(f"incoming frame of {length} bytes exceeds the protocol limit")
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        raise SweepError("connection closed mid-frame")
+    return json.loads(payload.decode())
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Exactly ``count`` bytes, or None on EOF at a frame boundary.
+
+    EOF *inside* a frame also returns None when nothing was read yet;
+    a partial read followed by EOF raises — the stream is torn.
+    """
+    chunks: List[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == count:
+                return None
+            raise SweepError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+class FrameDecoder:
+    """Incremental decoder for the parent's non-blocking reads.
+
+    Feed it whatever ``recv`` returned; it yields every complete
+    message and buffers the partial tail.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[Dict[str, Any]]:
+        self._buffer.extend(data)
+        messages: List[Dict[str, Any]] = []
+        while True:
+            if len(self._buffer) < _LEN.size:
+                return messages
+            (length,) = _LEN.unpack(self._buffer[: _LEN.size])
+            if length > MAX_FRAME_BYTES:
+                raise SweepError(
+                    f"incoming frame of {length} bytes exceeds the protocol limit"
+                )
+            end = _LEN.size + length
+            if len(self._buffer) < end:
+                return messages
+            payload = bytes(self._buffer[_LEN.size : end])
+            del self._buffer[:end]
+            messages.append(json.loads(payload.decode()))

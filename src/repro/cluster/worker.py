@@ -1,0 +1,205 @@
+"""``osnt-worker`` — a remote shard-execution process.
+
+A worker is the dumbest possible cluster member: it connects to a
+:class:`~repro.cluster.SocketScheduler`, introduces itself, and then
+pulls — request a shard, run it with the same
+:func:`repro.runner.run_shard` the local pool uses, stream
+flight-recorder heartbeats back over the socket while it runs, report
+the result, request the next. Work stealing therefore needs no
+balancer: a fast host finishes sooner and simply asks again.
+
+The worker keeps no sweep state. Determinism lives entirely in
+``(spec, shard)`` — the scheduler may hand the same shard to three
+different workers across retries and get byte-identical results. On
+``drain`` it reports a telemetry snapshot (operational counters plus
+the numeric fold of every shard telemetry it produced) and exits; if
+the scheduler vanishes mid-run it exits on the dead socket instead of
+lingering.
+
+Run one with::
+
+    osnt-worker --connect HOST:PORT [--name NAME] [--max-shards N]
+    python -m repro.cluster.worker --connect HOST:PORT
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import sys
+import threading
+import time
+import traceback
+from typing import Any, Dict, List, Optional
+
+from ..errors import SweepError
+from ..obs.flight import HeartbeatWriter
+from ..runner.report import STATUS_FAILED, STATUS_OK, _merge_numeric
+from ..runner.spec import ExperimentSpec, Shard
+from .protocol import recv_frame, send_frame
+from .version import code_version
+
+
+def _parse_endpoint(text: str) -> tuple:
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise SweepError(f"bad endpoint {text!r} (want HOST:PORT)")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise SweepError(f"bad port in endpoint {text!r}") from None
+
+
+class _Locked:
+    """Serializes frame sends between the main and heartbeat threads."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.lock = threading.Lock()
+
+    def send(self, message: Dict[str, Any]) -> None:
+        with self.lock:
+            send_frame(self.sock, message)
+
+    def send_quiet(self, message: Dict[str, Any]) -> None:
+        try:
+            self.send(message)
+        except OSError:
+            pass  # the scheduler is gone; the main loop will notice
+
+
+def serve(
+    host: str,
+    port: int,
+    name: Optional[str] = None,
+    max_shards: Optional[int] = None,
+    connect_timeout_s: float = 30.0,
+) -> int:
+    """Connect, pull shards until drained, return a process exit code."""
+    from ..runner.execution import run_shard
+
+    worker_name = name or f"{socket.gethostname()}-{os.getpid()}"
+    sock = socket.create_connection((host, port), timeout=connect_timeout_s)
+    sock.settimeout(None)
+    channel = _Locked(sock)
+    channel.send(
+        {
+            "type": "hello",
+            "worker": worker_name,
+            "pid": os.getpid(),
+            "code": code_version(),
+        }
+    )
+    welcome = recv_frame(sock)
+    if welcome is None or welcome.get("type") != "welcome":
+        raise SweepError(f"expected a welcome frame, got {welcome!r}")
+    spec = ExperimentSpec.from_dict(welcome["spec"])
+    heartbeat_s = float(welcome.get("heartbeat_s", 0.25))
+    started = time.monotonic()
+    counters = {"shards_ok": 0, "shards_failed": 0, "beats": 0}
+    folded_telemetry: Dict[str, Any] = {}
+
+    def snapshot() -> Dict[str, Any]:
+        merged: Dict[str, Any] = dict(folded_telemetry)
+        merged.update(counters)
+        merged["wall_s"] = round(time.monotonic() - started, 3)
+        return merged
+
+    channel.send({"type": "request"})
+    try:
+        while True:
+            message = recv_frame(sock)
+            if message is None:
+                return 0  # scheduler went away cleanly
+            kind = message.get("type")
+            if kind == "drain":
+                channel.send_quiet({"type": "telemetry", "snapshot": snapshot()})
+                channel.send_quiet({"type": "bye"})
+                return 0
+            if kind != "shard":
+                continue
+            body = message["shard"]
+            shard = Shard(
+                index=int(body["index"]),
+                params=body["params"],
+                seed=int(body["seed"]),
+                repeat=int(body.get("repeat", 0)),
+            )
+            attempt = int(message.get("attempt", 1))
+
+            def beat_sink(line: Dict[str, Any]) -> None:
+                counters["beats"] += 1
+                line = dict(line)
+                line["worker"] = worker_name
+                channel.send_quiet({"type": "beat", "line": line})
+
+            writer = HeartbeatWriter(
+                None,
+                shard.index,
+                attempt=attempt,
+                interval_s=heartbeat_s,
+                sink=beat_sink,
+            ).start()
+            try:
+                result = run_shard(spec, shard)
+                payload: Dict[str, Any] = {"status": STATUS_OK, "result": result}
+                writer.stop("done")
+                counters["shards_ok"] += 1
+                telemetry = result.get("telemetry")
+                if isinstance(telemetry, dict):
+                    _merge_numeric(folded_telemetry, telemetry)
+            except BaseException as exc:  # noqa: BLE001 — report, keep serving
+                payload = {
+                    "status": STATUS_FAILED,
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "traceback": traceback.format_exc(),
+                }
+                writer.stop("failed")
+                counters["shards_failed"] += 1
+            channel.send(
+                {
+                    "type": "result",
+                    "shard": shard.index,
+                    "attempt": attempt,
+                    "payload": payload,
+                }
+            )
+            executed = counters["shards_ok"] + counters["shards_failed"]
+            if max_shards is not None and executed >= max_shards:
+                channel.send_quiet({"type": "telemetry", "snapshot": snapshot()})
+                channel.send_quiet({"type": "bye"})
+                return 0
+            channel.send({"type": "request"})
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="osnt-worker",
+        description="remote shard-execution worker for osnt-sweep socket scheduling",
+    )
+    parser.add_argument(
+        "--connect", metavar="HOST:PORT", required=True,
+        help="scheduler endpoint to pull shards from",
+    )
+    parser.add_argument("--name", default=None, help="worker name (default host-pid)")
+    parser.add_argument(
+        "--max-shards", type=int, default=None,
+        help="exit after executing N shards (default: serve until drained)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        host, port = _parse_endpoint(args.connect)
+        return serve(host, port, name=args.name, max_shards=args.max_shards)
+    except (SweepError, OSError) as exc:
+        print(f"osnt-worker: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover — exercised via subprocess
+    sys.exit(main())

@@ -47,17 +47,27 @@ def heartbeat_path(directory: Union[str, Path], shard_index: int, attempt: int) 
 
 
 class HeartbeatWriter:
-    """Appends periodic beat lines for one shard attempt (worker side)."""
+    """Appends periodic beat lines for one shard attempt (worker side).
+
+    Beats normally append to a JSONL file at ``path``; a custom
+    ``sink`` callable receives each beat dict instead (the socket
+    scheduler's remote workers stream beats over their connection this
+    way, in the same format). With a sink, ``path`` may be None.
+    """
 
     def __init__(
         self,
-        path: Union[str, Path],
+        path: Optional[Union[str, Path]],
         shard_index: int,
         attempt: int = 1,
         interval_s: float = DEFAULT_HEARTBEAT_S,
         clock=time.monotonic,
+        sink=None,
     ) -> None:
-        self.path = Path(path)
+        if path is None and sink is None:
+            raise ValueError("HeartbeatWriter needs a path or a sink")
+        self.path = Path(path) if path is not None else None
+        self.sink = sink
         self.shard_index = shard_index
         self.attempt = attempt
         self.interval_s = interval_s
@@ -74,7 +84,8 @@ class HeartbeatWriter:
 
     def start(self) -> "HeartbeatWriter":
         """Write the ``start`` beat and launch the ticker thread."""
-        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
         self._started_at = self.clock()
         self.beat("start")
         self._thread = threading.Thread(
@@ -126,9 +137,15 @@ class HeartbeatWriter:
                 line["d_events"] = events - self._last_events
             self._last_sim_ps = sim_ps
             self._last_events = events
-            with open(self.path, "a") as handle:
-                handle.write(json.dumps(line, sort_keys=True) + "\n")
-                handle.flush()
+            if self.sink is not None:
+                try:
+                    self.sink(line)
+                except Exception:
+                    pass  # a dead sink must never kill the shard
+            else:
+                with open(self.path, "a") as handle:
+                    handle.write(json.dumps(line, sort_keys=True) + "\n")
+                    handle.flush()
             return line
 
 

@@ -2,10 +2,15 @@
 
 Subcommands:
 
-* ``run SPEC.json`` — execute (or resume) a sweep across workers.
+* ``run SPEC.json`` — execute (or resume) a sweep across workers;
+  ``--cache DIR`` serves/stores shards in a shared result store and
+  ``--scheduler socket`` dispatches to remote ``osnt-worker``
+  processes instead of the local pool.
 * ``expand SPEC.json`` — show the shard expansion without running it.
 * ``scenarios`` — list every registered scenario.
 * ``example`` — print a ready-to-edit spec.
+* ``cache stats DIR`` / ``cache gc DIR --older-than AGE`` — inspect or
+  prune a content-addressed result store.
 """
 
 from __future__ import annotations
@@ -60,6 +65,25 @@ def _cmd_run(args) -> int:
         def on_progress(line: str) -> None:
             print(line, file=sys.stderr, flush=True)
 
+    scheduler = None
+    if args.scheduler == "socket":
+        from ..cluster import SocketScheduler
+
+        host, _, port = args.listen.rpartition(":")
+        scheduler = SocketScheduler(
+            host=host or "127.0.0.1",
+            port=int(port),
+            spawn_workers=args.spawn_workers,
+            heartbeat_s=args.heartbeat_s,
+            heartbeat_timeout_s=args.worker_timeout_s,
+        )
+        print(
+            f"socket scheduler listening on "
+            f"{scheduler.address[0]}:{scheduler.address[1]} "
+            f"(connect workers with: osnt-worker --connect "
+            f"{scheduler.address[0]}:{scheduler.address[1]})",
+            file=sys.stderr,
+        )
     runner = SweepRunner(
         spec,
         workers=args.workers,
@@ -68,9 +92,16 @@ def _cmd_run(args) -> int:
         heartbeat_s=args.heartbeat_s,
         stall_after_s=args.stall_after_s,
         on_progress=on_progress,
+        scheduler=scheduler,
+        cache_dir=args.cache,
     )
     report = runner.run(resume=not args.no_resume, max_shards=args.max_shards)
     print(report.summary())
+    if args.cache and report.from_cache:
+        print(
+            f"{len(report.from_cache)} shard(s) served from cache {args.cache}",
+            file=sys.stderr,
+        )
     if args.merged:
         print(report.merged_json())
     if args.json:
@@ -125,6 +156,32 @@ def _cmd_example(args) -> int:
     return 0
 
 
+def _cmd_cache_stats(args) -> int:
+    from ..cluster import ResultStore
+
+    store = ResultStore(args.store)
+    stats = store.stats()
+    print(f"result store {args.store}")
+    print(stats.summary())
+    return 0
+
+
+def _cmd_cache_gc(args) -> int:
+    from ..cluster import ResultStore, parse_age_s
+
+    age_s = parse_age_s(args.older_than)
+    store = ResultStore(args.store)
+    removed = store.gc(age_s, dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    print(
+        f"cache gc: {verb} {len(removed)} entr{'y' if len(removed) == 1 else 'ies'} "
+        f"older than {args.older_than} from {args.store}"
+    )
+    remaining = store.stats()
+    print(f"remaining: {remaining.entries} entries, {remaining.total_bytes} bytes")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="osnt-sweep",
@@ -169,6 +226,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="flag a shard as stalled after this many seconds without a "
         "heartbeat (default 10x the heartbeat interval)",
     )
+    run_p.add_argument(
+        "--cache", metavar="DIR", default=None,
+        help="content-addressed result store: serve already-computed "
+        "shards from here and store fresh results for future sweeps",
+    )
+    run_p.add_argument(
+        "--scheduler", choices=("local", "socket"), default="local",
+        help="execution backend: the local forked pool (default) or a "
+        "socket listener dispatching to remote osnt-worker processes",
+    )
+    run_p.add_argument(
+        "--listen", metavar="HOST:PORT", default="127.0.0.1:0",
+        help="socket scheduler bind address (default 127.0.0.1:0 = "
+        "loopback, ephemeral port printed on stderr)",
+    )
+    run_p.add_argument(
+        "--spawn-workers", type=int, default=0, metavar="N",
+        help="socket scheduler: fork N loopback osnt-worker processes "
+        "at start (external workers may still connect)",
+    )
+    run_p.add_argument(
+        "--worker-timeout-s", type=float, default=None, metavar="S",
+        help="socket scheduler: declare a busy worker dead after this "
+        "many seconds without a heartbeat and reassign its shard "
+        "(default 10x the heartbeat interval)",
+    )
     run_p.set_defaults(func=_cmd_run)
 
     expand_p = sub.add_parser("expand", help="show the shard expansion")
@@ -184,6 +267,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="print a fault-injection sweep spec instead",
     )
     example_p.set_defaults(func=_cmd_example)
+
+    cache_p = sub.add_parser("cache", help="inspect or prune a result store")
+    cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
+    stats_p = cache_sub.add_parser("stats", help="summarize a result store")
+    stats_p.add_argument("store", metavar="DIR", help="result store directory")
+    stats_p.set_defaults(func=_cmd_cache_stats)
+    gc_p = cache_sub.add_parser("gc", help="delete entries older than an age")
+    gc_p.add_argument("store", metavar="DIR", help="result store directory")
+    gc_p.add_argument(
+        "--older-than", required=True, metavar="AGE",
+        help="age threshold, e.g. '90s', '15m', '12h', '7d'",
+    )
+    gc_p.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be removed without deleting anything",
+    )
+    gc_p.set_defaults(func=_cmd_cache_gc)
 
     args = parser.parse_args(argv)
     try:

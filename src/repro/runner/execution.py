@@ -12,13 +12,25 @@ completion:
 * ``workers == 0`` — inline execution in this process (no isolation,
   no timeout enforcement): the debugging mode, and what the thin
   ``measure_*`` shims use so library calls never fork.
+* ``scheduler=...`` — any :class:`repro.cluster.Scheduler` backend;
+  the forked pool above is just the default
+  (:class:`~repro.cluster.LocalScheduler`), and
+  :class:`~repro.cluster.SocketScheduler` runs the same shards on
+  remote ``osnt-worker`` processes instead.
+* ``cache_dir=...`` — a shared content-addressed
+  :class:`~repro.cluster.ResultStore`: shards whose key (scenario,
+  params, seed, code version) already has a stored result are served
+  from the cache (marked ``cached`` in the report) and never executed;
+  fresh results are stored for the next overlapping sweep.
 
 Determinism: a shard's result depends only on ``(spec, shard)`` — the
 seed is derived from the spec, never from the schedule — so merged
-reports are bit-identical at any worker count. Completed shards are
-checkpointed as ``shard-NNNNN.json`` files; a rerun against the same
-checkpoint directory (guarded by the spec fingerprint) skips them,
-which is all resume-after-interruption is.
+reports are bit-identical at any worker count, on any scheduler
+backend, and whether shards were executed, resumed from checkpoints or
+served from the cache. Completed shards are checkpointed as
+``shard-NNNNN.json`` files; a rerun against the same checkpoint
+directory (guarded by the spec fingerprint *and* the code version)
+skips them, which is all resume-after-interruption is.
 """
 
 from __future__ import annotations
@@ -26,9 +38,7 @@ from __future__ import annotations
 import dataclasses
 import importlib
 import json
-import multiprocessing
 import os
-import tempfile
 import time
 import traceback
 from pathlib import Path
@@ -53,8 +63,6 @@ from .report import (
 )
 from .spec import ExperimentSpec, Shard
 
-#: How often the parent polls running workers, seconds.
-_POLL_S = 0.01
 #: Grace period between SIGTERM and SIGKILL for a hung worker.
 _KILL_GRACE_S = 1.0
 
@@ -214,6 +222,14 @@ class SweepRunner:
     ``workers=0`` executes inline (no subprocesses, no timeouts) and is
     what the deprecated ``measure_*`` wrappers use under the hood.
 
+    ``scheduler`` accepts any :class:`repro.cluster.Scheduler`
+    (overriding ``workers``/``start_method``); by default a
+    :class:`~repro.cluster.LocalScheduler` wraps the classic forked
+    pool. ``cache_dir`` (a path or a ready
+    :class:`~repro.cluster.ResultStore`) arms the content-addressed
+    result cache: known shards are served without executing and fresh
+    results are stored for future sweeps.
+
     ``flight_dir`` arms the flight recorder (:mod:`repro.obs.flight`):
     workers write heartbeat files there, the parent tails them into a
     live progress/ETA line (``on_progress`` callback) and flags shards
@@ -233,6 +249,8 @@ class SweepRunner:
         stall_after_s: Optional[float] = None,
         on_progress=None,
         progress_interval_s: float = 1.0,
+        scheduler=None,
+        cache_dir=None,
     ) -> None:
         if workers < 0:
             raise SweepError(f"workers must be >= 0, got {workers}")
@@ -250,10 +268,17 @@ class SweepRunner:
         )
         self.on_progress = on_progress
         self.progress_interval_s = progress_interval_s
-        if start_method is None:
-            methods = multiprocessing.get_all_start_methods()
-            start_method = "fork" if "fork" in methods else methods[0]
-        self._ctx = multiprocessing.get_context(start_method)
+        self.start_method = start_method
+        self.scheduler = scheduler
+        self.store = None
+        if cache_dir is not None:
+            from ..cluster.store import ResultStore
+
+            self.store = (
+                cache_dir
+                if isinstance(cache_dir, ResultStore)
+                else ResultStore(cache_dir)
+            )
 
     # -- checkpoints ---------------------------------------------------------
 
@@ -262,35 +287,72 @@ class SweepRunner:
         return self.checkpoint_dir / f"shard-{index:05d}.json"
 
     def _prepare_checkpoints(self, resume: bool) -> Dict[int, Dict[str, Any]]:
-        """Create/validate the checkpoint dir; load completed shards."""
+        """Create/validate the checkpoint dir; load completed shards.
+
+        Guards against two kinds of staleness before trusting anything:
+        a different *spec* (fingerprint mismatch) and a different
+        *source tree* (code-version mismatch) — either means the
+        checkpointed results may not be reproducible by the current
+        code, so resuming over them would silently mix regimes. Orphaned
+        ``shard-*.tmp.*`` files from a writer killed mid-checkpoint are
+        removed up front; the atomic rename in :meth:`_checkpoint`
+        guarantees they were never visible as real checkpoints.
+        """
+        from ..cluster.version import code_version
+
         directory = self.checkpoint_dir
         if directory is None:
             return {}
         directory.mkdir(parents=True, exist_ok=True)
+        for orphan in directory.glob("shard-*.tmp.*"):
+            orphan.unlink()
+        for orphan in directory.glob("spec.tmp.*"):
+            orphan.unlink()
         spec_path = directory / _SPEC_FILE
         fingerprint = self.spec.fingerprint()
+        code = code_version()
         if spec_path.exists():
             try:
-                recorded = json.loads(spec_path.read_text()).get("fingerprint")
+                recorded = json.loads(spec_path.read_text())
             except json.JSONDecodeError:
-                recorded = None
-            if recorded != fingerprint:
+                recorded = {}
+            recorded_fp = recorded.get("fingerprint")
+            recorded_code = recorded.get("code_version")
+            if recorded_fp != fingerprint:
                 if resume:
                     raise SweepError(
                         f"checkpoint dir {directory} belongs to a different spec "
-                        f"(fingerprint {recorded!r} != {fingerprint!r}); "
+                        f"(fingerprint {recorded_fp!r} != {fingerprint!r}); "
                         "use a fresh directory or resume=False to overwrite"
                     )
                 for stale in directory.glob("shard-*.json"):
                     stale.unlink()
-        spec_path.write_text(
-            json.dumps(
-                {"fingerprint": fingerprint, "spec": self.spec.to_dict()},
+            elif recorded_code is not None and recorded_code != code:
+                if resume:
+                    raise SweepError(
+                        f"checkpoint dir {directory} was written by code version "
+                        f"{recorded_code!r} but this tree is {code!r}; results "
+                        "may not be reproducible — use a fresh directory or "
+                        "resume=False to overwrite"
+                    )
+                for stale in directory.glob("shard-*.json"):
+                    stale.unlink()
+        tmp = spec_path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w") as handle:
+            json.dump(
+                {
+                    "fingerprint": fingerprint,
+                    "code_version": code,
+                    "spec": self.spec.to_dict(),
+                },
+                handle,
                 indent=2,
                 sort_keys=True,
             )
-            + "\n"
-        )
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, spec_path)
         completed: Dict[int, Dict[str, Any]] = {}
         if resume:
             for path in sorted(directory.glob("shard-*.json")):
@@ -307,7 +369,13 @@ class SweepRunner:
             return
         path = self._shard_path(record.index)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(record.checkpoint_payload(), sort_keys=True) + "\n")
+        # fsync before the rename: a kill between write and rename must
+        # leave either no checkpoint or a complete one — never a
+        # truncated file that a later resume would trust.
+        with open(tmp, "w") as handle:
+            handle.write(json.dumps(record.checkpoint_payload(), sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, path)
 
     # -- execution -----------------------------------------------------------
@@ -318,7 +386,10 @@ class SweepRunner:
         ``resume=True`` skips shards already checkpointed by a previous
         run of the same spec. ``max_shards`` caps how many shards this
         call executes (smoke runs; simulating an interrupted campaign) —
-        the rest are reported as *pending*.
+        the rest are reported as *pending*. With a result store armed,
+        shards whose content address is already stored are *served*,
+        not executed (and count against ``max_shards`` like skipped
+        work would not — cache hits are free).
         """
         shards = self.spec.expand()
         completed = self._prepare_checkpoints(resume)
@@ -335,17 +406,27 @@ class SweepRunner:
                     result=payload.get("result"),
                     from_checkpoint=True,
                 )
+                self._store_put(records[shard.index])
             else:
                 todo.append(shard)
+        todo = self._serve_from_store(todo, records)
         budget = len(todo) if max_shards is None else min(max_shards, len(todo))
         skipped = todo[budget:]
         todo = todo[:budget]
 
-        if self.workers == 0:
+        scheduler_stats: Dict[str, Any] = {}
+        worker_telemetry: Dict[str, Dict[str, Any]] = {}
+        if self.workers == 0 and self.scheduler is None:
             for shard in todo:
-                records[shard.index] = self._run_inline(shard)
+                record = self._run_inline(shard)
+                records[shard.index] = record
+                self._store_put(record)
+            scheduler_stats = {"backend": "inline", "executed": len(todo)}
         else:
-            self._run_pool(todo, records)
+            scheduler = self._make_scheduler()
+            self._run_scheduled(scheduler, todo, records)
+            scheduler_stats = scheduler.stats()
+            worker_telemetry = scheduler.telemetry_snapshots()
 
         for shard in skipped:
             records[shard.index] = ShardResult(
@@ -355,9 +436,121 @@ class SweepRunner:
                 status=STATUS_PENDING,
             )
         report = SweepReport(
-            spec=self.spec, shards=[records[shard.index] for shard in shards]
+            spec=self.spec,
+            shards=[records[shard.index] for shard in shards],
+            worker_telemetry=worker_telemetry,
+            scheduler_stats=scheduler_stats,
         )
         return report
+
+    # -- the result store ----------------------------------------------------
+
+    def _serve_from_store(
+        self, todo: List[Shard], records: Dict[int, ShardResult]
+    ) -> List[Shard]:
+        """Split cache hits out of ``todo``; only misses remain to run."""
+        if self.store is None or not todo:
+            return todo
+        from ..cluster.store import shard_cache_key
+
+        misses: List[Shard] = []
+        for shard in todo:
+            result = self.store.get(shard_cache_key(self.spec, shard))
+            if result is None:
+                misses.append(shard)
+                continue
+            record = ShardResult(
+                index=shard.index,
+                params=shard.params,
+                seed=shard.seed,
+                status=STATUS_OK,
+                result=result,
+                cached=True,
+            )
+            records[shard.index] = record
+            self._checkpoint(record)
+        return misses
+
+    def _store_put(self, record: ShardResult) -> None:
+        """Publish one ok result to the shared store (idempotent)."""
+        if (
+            self.store is None
+            or record.status != STATUS_OK
+            or record.cached
+            or record.result is None
+        ):
+            return
+        from ..cluster.store import shard_cache_key
+
+        shard = Shard(
+            index=record.index,
+            params=record.params,
+            seed=record.seed,
+        )
+        self.store.put(
+            shard_cache_key(self.spec, shard),
+            record.result,
+            scenario=self.spec.scenario,
+        )
+
+    # -- scheduler dispatch --------------------------------------------------
+
+    def _make_scheduler(self):
+        """The configured scheduler, or a LocalScheduler over the pool."""
+        if self.scheduler is not None:
+            return self.scheduler
+        from ..cluster.scheduler import LocalScheduler
+
+        return LocalScheduler(
+            workers=max(self.workers, 1),
+            start_method=self.start_method,
+            heartbeat_s=self.heartbeat_s,
+        )
+
+    def _run_scheduled(
+        self, scheduler, todo: List[Shard], records: Dict[int, ShardResult]
+    ) -> None:
+        """Drive ``todo`` through a scheduler backend, resumably."""
+        tailer: Optional[FlightTailer] = None
+        if self.flight_dir is not None:
+            self.flight_dir.mkdir(parents=True, exist_ok=True)
+            tailer = FlightTailer(self.flight_dir, stall_after_s=self.stall_after_s)
+        total = len(records) + len(todo)
+        sweep_started = time.monotonic()
+        last_progress = 0.0
+
+        def on_record(record: ShardResult) -> None:
+            records[record.index] = record
+            self._checkpoint(record)
+            self._store_put(record)
+
+        on_cycle = None
+        if self.on_progress is not None:
+
+            def on_cycle(statuses: Dict[int, Dict[str, Any]]) -> None:
+                nonlocal last_progress
+                now = time.monotonic()
+                if now - last_progress < self.progress_interval_s:
+                    return
+                last_progress = now
+                done = sum(1 for r in records.values() if r.ok)
+                failed = sum(
+                    1 for r in records.values() if r.status == STATUS_FAILED
+                )
+                self.on_progress(
+                    render_progress(
+                        done, failed, total, statuses, now - sweep_started
+                    )
+                )
+
+        scheduler.run(
+            self.spec, todo, on_record=on_record, tailer=tailer, on_cycle=on_cycle
+        )
+        if tailer is not None:
+            for index in tailer.stalled_shards:
+                record = records.get(index)
+                if record is not None:
+                    record.stalled = True
 
     def _run_inline(self, shard: Shard) -> ShardResult:
         record = ShardResult(index=shard.index, params=shard.params, seed=shard.seed)
@@ -391,127 +584,21 @@ class SweepRunner:
         self._checkpoint(record)
         return record
 
-    def _run_pool(self, todo: List[Shard], records: Dict[int, ShardResult]) -> None:
-        """The worker-pool scheduler: launch, poll, retry, collect."""
-        tailer: Optional[FlightTailer] = None
-        if self.flight_dir is not None:
-            self.flight_dir.mkdir(parents=True, exist_ok=True)
-            tailer = FlightTailer(self.flight_dir, stall_after_s=self.stall_after_s)
-        total = len(records) + len(todo)
-        sweep_started = time.monotonic()
-        last_progress = 0.0
-        with tempfile.TemporaryDirectory(prefix="repro-sweep-") as scratch:
-            pending = list(todo)
-            attempts_used: Dict[int, int] = {shard.index: 0 for shard in todo}
-            started_at: Dict[int, float] = {}
-            running: List[_Attempt] = []
-            try:
-                while pending or running:
-                    while pending and len(running) < self.workers:
-                        shard = pending.pop(0)
-                        started_at.setdefault(shard.index, time.monotonic())
-                        attempts_used[shard.index] += 1
-                        out = os.path.join(
-                            scratch,
-                            f"shard-{shard.index:05d}-a{attempts_used[shard.index]}.json",
-                        )
-                        flight_path = None
-                        if tailer is not None:
-                            flight_path = str(
-                                heartbeat_path(
-                                    self.flight_dir,
-                                    shard.index,
-                                    attempts_used[shard.index],
-                                )
-                            )
-                            tailer.track(shard.index, attempts_used[shard.index])
-                        running.append(
-                            _Attempt(
-                                self._ctx,
-                                self.spec,
-                                shard,
-                                out,
-                                flight_path=flight_path,
-                                attempt=attempts_used[shard.index],
-                                heartbeat_s=self.heartbeat_s,
-                            )
-                        )
-                    still_running: List[_Attempt] = []
-                    for attempt in running:
-                        payload = attempt.outcome(self.spec.timeout_s)
-                        if payload is None:
-                            still_running.append(attempt)
-                            continue
-                        shard = attempt.shard
-                        if tailer is not None:
-                            tailer.untrack(shard.index)
-                        if payload["status"] == STATUS_OK:
-                            record = ShardResult(
-                                index=shard.index,
-                                params=shard.params,
-                                seed=shard.seed,
-                                status=STATUS_OK,
-                                result=payload.get("result"),
-                                attempts=attempts_used[shard.index],
-                                elapsed_s=time.monotonic() - started_at[shard.index],
-                            )
-                            records[shard.index] = record
-                            self._checkpoint(record)
-                        elif attempts_used[shard.index] <= self.spec.retries:
-                            pending.append(shard)  # retry at the back of the queue
-                        else:
-                            records[shard.index] = ShardResult(
-                                index=shard.index,
-                                params=shard.params,
-                                seed=shard.seed,
-                                status=STATUS_FAILED,
-                                error=payload.get("error", "unknown failure"),
-                                attempts=attempts_used[shard.index],
-                                elapsed_s=time.monotonic() - started_at[shard.index],
-                            )
-                    running = still_running
-                    if tailer is not None:
-                        statuses = tailer.poll()
-                        now = time.monotonic()
-                        if (
-                            self.on_progress is not None
-                            and now - last_progress >= self.progress_interval_s
-                        ):
-                            last_progress = now
-                            done = sum(1 for r in records.values() if r.ok)
-                            failed = sum(
-                                1
-                                for r in records.values()
-                                if r.status == STATUS_FAILED
-                            )
-                            self.on_progress(
-                                render_progress(
-                                    done,
-                                    failed,
-                                    total,
-                                    statuses,
-                                    now - sweep_started,
-                                )
-                            )
-                    if running:
-                        time.sleep(_POLL_S)
-            finally:
-                for attempt in running:
-                    attempt.terminate()
-        if tailer is not None:
-            for index in tailer.stalled_shards:
-                record = records.get(index)
-                if record is not None:
-                    record.stalled = True
-
-
 def run_spec(
     spec: ExperimentSpec,
     workers: int = 0,
     checkpoint_dir: Optional[Union[str, Path]] = None,
     resume: bool = True,
     max_shards: Optional[int] = None,
+    scheduler=None,
+    cache_dir=None,
 ) -> SweepReport:
     """One-call convenience: build a :class:`SweepRunner` and run it."""
-    runner = SweepRunner(spec, workers=workers, checkpoint_dir=checkpoint_dir)
+    runner = SweepRunner(
+        spec,
+        workers=workers,
+        checkpoint_dir=checkpoint_dir,
+        scheduler=scheduler,
+        cache_dir=cache_dir,
+    )
     return runner.run(resume=resume, max_shards=max_shards)

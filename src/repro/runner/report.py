@@ -40,6 +40,13 @@ class ShardResult:
     #: it depends on wall-clock behaviour, so it must stay out of
     #: :meth:`merged_entry` to keep the merged document deterministic).
     stalled: bool = False
+    #: Served from the content-addressed result store instead of being
+    #: executed (operational — a cache hit holds the same bytes a cold
+    #: run would produce, so the merged document is unaffected).
+    cached: bool = False
+    #: Which remote worker executed the shard (socket scheduler only;
+    #: operational — placement must never influence results).
+    worker: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -80,6 +87,13 @@ class SweepReport:
 
     spec: ExperimentSpec
     shards: List[ShardResult] = field(default_factory=list)
+    #: Per-worker telemetry snapshots from a remote (socket) scheduler,
+    #: keyed by worker name. Operational: excluded from the merged
+    #: document; feed it to :func:`repro.cluster.workers_openmetrics`.
+    worker_telemetry: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: Operational counters from the scheduler backend that ran the
+    #: sweep (backend name, executed/reassigned counts, ...).
+    scheduler_stats: Dict[str, Any] = field(default_factory=dict)
 
     # -- selections ---------------------------------------------------------
 
@@ -105,6 +119,11 @@ class SweepReport:
         """Shards the flight recorder flagged as stalled at least once
         (they may still have finished ok — stalls are advisory)."""
         return [s for s in self.shards if s.stalled]
+
+    @property
+    def from_cache(self) -> List[ShardResult]:
+        """Shards served from the content-addressed result store."""
+        return [s for s in self.shards if s.cached]
 
     def results(self) -> List[Dict[str, Any]]:
         """Scenario results of successful shards, in shard order."""
@@ -184,8 +203,12 @@ class SweepReport:
             note = ""
             if s.status == STATUS_FAILED:
                 note = (s.error or "")[:60]
+            elif s.cached:
+                note = "from cache"
             elif s.from_checkpoint:
                 note = "from checkpoint"
+            if s.worker:
+                note = f"{note} [{s.worker}]".strip()
             if s.stalled:
                 note = f"{note} [stalled]".strip()
             rows.append(
@@ -202,6 +225,8 @@ class SweepReport:
             f"sweep {self.spec.name!r}: {len(self.ok)} ok, "
             f"{len(self.failed)} failed, {len(self.pending)} pending"
         )
+        if self.from_cache:
+            title += f" ({len(self.from_cache)} from cache)"
         return format_table(
             ["shard", "status", "attempts", "wall s", "params", "note"],
             rows,
@@ -219,9 +244,13 @@ class SweepReport:
                     "attempts": s.attempts,
                     "elapsed_s": s.elapsed_s,
                     "stalled": s.stalled,
+                    "cached": s.cached,
+                    "worker": s.worker,
                 }
                 for s in self.shards
             ],
+            "scheduler": self.scheduler_stats,
+            "worker_telemetry": self.worker_telemetry,
         }
         with open(path, "w") as handle:
             json.dump(document, handle, indent=2, sort_keys=True)

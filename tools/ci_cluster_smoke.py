@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""CI smoke for the cluster layer: remote workers + the result store.
+
+End to end, with real processes and sockets:
+
+1. **cold distributed run** — an 8-shard ``line_rate`` sweep through a
+   :class:`~repro.cluster.SocketScheduler` with two spawned
+   ``osnt-worker`` processes, results published to a content-addressed
+   :class:`~repro.cluster.ResultStore`. Every shard must execute
+   remotely, both workers must participate (pull-based work stealing),
+   and the per-worker telemetry must aggregate into a valid
+   OpenMetrics exposition.
+2. **warm rerun** — the same sweep against the same store: 100% cache
+   hits, zero shards executed, and a merged document byte-identical to
+   the cold run.
+3. **baseline cross-check** — the merged document must also match a
+   plain single-process inline run: distribution and caching must
+   never change results.
+
+Exits non-zero with a diagnostic on any violated expectation.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.cluster import ResultStore, SocketScheduler, workers_openmetrics
+from repro.runner import ExperimentSpec, SweepRunner, run_spec
+from repro.telemetry import parse_openmetrics
+
+SHARDS = 8
+
+
+def fail(message: str) -> None:
+    print(f"ci_cluster_smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def sweep_spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="ci-cluster-smoke",
+        scenario="line_rate",
+        params={"duration": "0.2ms", "seed": 0},
+        axes={"frame_size": [64, 128, 256, 512, 1024, 1280, 1514, 1518]},
+        retries=1,
+        timeout_s=120.0,
+    )
+
+
+def check_cold_distributed_run(store_dir: Path) -> str:
+    runner = SweepRunner(
+        sweep_spec(),
+        scheduler=SocketScheduler(spawn_workers=2, heartbeat_s=0.1),
+        cache_dir=store_dir,
+    )
+    report = runner.run()
+    if len(report.ok) != SHARDS:
+        fail(f"cold run: expected {SHARDS} ok shards, got {len(report.ok)}")
+    if report.from_cache:
+        fail("cold run: nothing should have been cache-served")
+    stats = report.scheduler_stats
+    if stats.get("backend") != "socket" or stats.get("executed") != SHARDS:
+        fail(f"cold run: unexpected scheduler stats {stats}")
+    per_worker = stats.get("per_worker", {})
+    if len(per_worker) != 2 or sum(per_worker.values()) != SHARDS:
+        fail(f"cold run: both workers must participate, got {per_worker}")
+    if not report.worker_telemetry:
+        fail("cold run: no per-worker telemetry snapshots were collected")
+    families = parse_openmetrics(workers_openmetrics(report.worker_telemetry))
+    if "osnt_worker_shards_ok" not in families:
+        fail(f"aggregated exposition lacks shards_ok ({sorted(families)})")
+    print(
+        f"cold distributed run ok: {SHARDS} shards over "
+        f"{len(per_worker)} workers {dict(per_worker)}, "
+        f"{len(families)} OpenMetrics families"
+    )
+    return report.merged_json()
+
+
+def check_warm_rerun(store_dir: Path, cold_merged: str) -> None:
+    store = ResultStore(store_dir)
+    runner = SweepRunner(
+        sweep_spec(),
+        scheduler=SocketScheduler(spawn_workers=2, heartbeat_s=0.1),
+        cache_dir=store,
+    )
+    report = runner.run()
+    if len(report.from_cache) != SHARDS:
+        fail(
+            f"warm rerun: expected {SHARDS} cache hits, "
+            f"got {len(report.from_cache)}"
+        )
+    if report.scheduler_stats.get("executed", -1) != 0:
+        fail(f"warm rerun executed shards: {report.scheduler_stats}")
+    if store.hits != SHARDS:
+        fail(f"warm rerun: store counted {store.hits} hits, want {SHARDS}")
+    if report.merged_json() != cold_merged:
+        fail("warm rerun: merged document differs from the cold run")
+    stats = store.stats()
+    print(
+        f"warm rerun ok: {SHARDS}/{SHARDS} cache hits, merged byte-identical "
+        f"({stats.entries} entries, {stats.total_bytes} bytes in store)"
+    )
+
+
+def check_inline_baseline(cold_merged: str) -> None:
+    report = run_spec(sweep_spec(), workers=0)
+    if len(report.ok) != SHARDS:
+        fail(f"baseline: expected {SHARDS} ok shards, got {len(report.ok)}")
+    if report.merged_json() != cold_merged:
+        fail("distributed merged document differs from the inline baseline")
+    print("baseline ok: inline merged document is byte-identical")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="ci-cluster-") as tmp:
+        store_dir = Path(tmp) / "store"
+        cold_merged = check_cold_distributed_run(store_dir)
+        check_warm_rerun(store_dir, cold_merged)
+        check_inline_baseline(cold_merged)
+    print("ci_cluster_smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
