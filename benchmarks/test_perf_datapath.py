@@ -1,0 +1,94 @@
+"""Datapath performance: burst vs per-packet on the E1 hot loop.
+
+Not a paper experiment — the regression guard for the burst datapath
+(:mod:`repro.hw.burst`). E1's worst case (64-byte frames at line rate)
+is the workload the batching exists for: ~14,880 frames per simulated
+millisecond, each of which costs several events on the per-packet path
+and a handful of arithmetic updates on the burst path. If the burst
+controller loses its edge — an accidental fallback to the stock
+processes, a per-frame allocation creeping into the bulk lane — the
+enforced budget below catches it in CI.
+"""
+
+import gc
+import os
+from time import perf_counter
+
+from conftest import emit
+
+from repro.hw import connect
+from repro.osnt import OSNT
+from repro.sim import Simulator
+from repro.testbed.workloads import udp_template
+from repro.units import ms
+
+#: The burst datapath must move at least this many times more simulated
+#: packets per wall-second than the per-packet processes on E1's
+#: 64-byte line-rate loop (the perf regression budget enforced in CI).
+#: Measured headroom is well above 100x; 10x keeps CI immune to noisy
+#: shared runners while still catching any fallback to per-packet work.
+DATAPATH_SPEEDUP_BUDGET = 10.0
+
+
+def _run_e1(impl, duration_ps=ms(1)):
+    """One E1-shaped loopback run; returns simulated packets/wall-sec.
+
+    64-byte frames at full line rate through generator, TX MAC, link
+    and monitor, telemetry off — the exact hot loop the burst datapath
+    batches. The implementation is chosen via ``REPRO_DATAPATH`` (read
+    at generator construction), mirroring ``REPRO_EVENT_QUEUE``.
+    """
+    previous = os.environ.get("REPRO_DATAPATH")
+    os.environ["REPRO_DATAPATH"] = impl
+    try:
+        sim = Simulator()
+        tester = OSNT(sim)
+        connect(tester.port(0), tester.port(1))
+        monitor = tester.monitor(1)
+        generator = tester.generator(0)
+        generator.load_template(udp_template(64))
+        generator.for_duration(duration_ps)
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_DATAPATH", None)
+        else:
+            os.environ["REPRO_DATAPATH"] = previous
+    # Collect then pause the GC so leftover garbage from earlier tests
+    # doesn't trigger collections mid-measurement.
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        start = perf_counter()
+        generator.start()
+        sim.run()
+        elapsed = perf_counter() - start
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    sent = generator.stats.sent
+    assert sent > 14_000, f"E1 run only sent {sent} frames"
+    assert monitor.rx_packets == sent
+    return sent / elapsed
+
+
+def test_perf_datapath_budget():
+    """Enforce the regression budget: burst >= 10x packet on E1.
+
+    Interleaved best-of-3 rounds per implementation damp scheduler
+    noise; the asserted ratio is machine-independent.
+    """
+    packet_best = burst_best = 0.0
+    for __ in range(3):
+        packet_best = max(packet_best, _run_e1("packet"))
+        burst_best = max(burst_best, _run_e1("burst"))
+    ratio = burst_best / packet_best
+    emit(
+        f"E1 64B line-rate loop: packet {packet_best:,.0f} pkt/s, "
+        f"burst {burst_best:,.0f} pkt/s, speedup {ratio:.1f}x "
+        f"(budget >= {DATAPATH_SPEEDUP_BUDGET}x)"
+    )
+    assert ratio >= DATAPATH_SPEEDUP_BUDGET, (
+        f"burst datapath regressed: only {ratio:.1f}x vs per-packet "
+        f"baseline (budget {DATAPATH_SPEEDUP_BUDGET}x)"
+    )

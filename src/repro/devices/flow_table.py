@@ -59,6 +59,9 @@ class FlowTable:
         self.lookups = 0
         self.hits = 0
         self.misses = 0
+        #: Bumped on every mutation (add/modify/delete/expire). Lookup
+        #: memoizers key their caches on this to stay coherent.
+        self.version = 0
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -96,10 +99,12 @@ class FlowTable:
                 and existing.match.is_strict_equal(entry.match)
             ):
                 self.entries[index] = entry  # ADD over identical = replace
+                self.version += 1
                 return entry
         if len(self.entries) >= self.capacity:
             raise TableFullError(f"flow table full ({self.capacity} entries)")
         self.entries.append(entry)
+        self.version += 1
         return entry
 
     def modify(self, match: Match, priority: int, actions: List[Action], strict: bool) -> int:
@@ -113,6 +118,8 @@ class FlowTable:
             if _mod_selects(entry, match, priority, ofp.OFPP_NONE, strict):
                 entry.actions = list(actions)
                 changed += 1
+        if changed:
+            self.version += 1
         return changed
 
     def delete(
@@ -130,6 +137,7 @@ class FlowTable:
         ]
         if removed:
             self.entries = [entry for entry in self.entries if entry not in removed]
+            self.version += 1
         return removed
 
     def expire(self, now_ps: int) -> List[tuple]:
@@ -154,6 +162,8 @@ class FlowTable:
             else:
                 remaining.append(entry)
         self.entries = remaining
+        if expired:
+            self.version += 1
         return expired
 
 

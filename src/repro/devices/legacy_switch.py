@@ -115,6 +115,10 @@ class LegacySwitch:
         self.dropped_no_buffer = 0
         self.dropped_same_port = 0
         self.dropped_fabric = 0
+        # Header-decode memo: first 12 wire bytes -> (dst_mac, src_mac,
+        # is_multicast). Pure string formatting of immutable bytes, so
+        # entries never go stale; the dict is merely bounded.
+        self._hdr_cache: Dict[bytes, Tuple[str, str, bool]] = {}
 
     def port(self, index: int) -> EthernetPort:
         return self.ports[index]
@@ -151,14 +155,22 @@ class LegacySwitch:
     def _fabric_release(self, frame_bytes: int) -> None:
         self._fabric_backlog_bytes -= frame_bytes
 
+    _HDR_CACHE_MAX = 4096
+
     def _forward(self, packet: Packet, in_port: int) -> None:
-        decoded_src = packet.data[6:12]
-        decoded_dst = packet.data[0:6]
-        src_mac = ":".join(f"{b:02x}" for b in decoded_src)
-        dst_mac = ":".join(f"{b:02x}" for b in decoded_dst)
+        header = packet.data[0:12]
+        cached = self._hdr_cache.get(header)
+        if cached is None:
+            dst_mac = ":".join(f"{b:02x}" for b in header[0:6])
+            src_mac = ":".join(f"{b:02x}" for b in header[6:12])
+            cached = (dst_mac, src_mac, is_multicast_mac(dst_mac))
+            if len(self._hdr_cache) >= self._HDR_CACHE_MAX:
+                self._hdr_cache.clear()
+            self._hdr_cache[header] = cached
+        dst_mac, src_mac, multicast = cached
         now = self.sim.now
         self.mac_table.learn(src_mac, in_port, now)
-        if is_multicast_mac(dst_mac):
+        if multicast:
             out_port = None
         else:
             out_port = self.mac_table.lookup(dst_mac, now)

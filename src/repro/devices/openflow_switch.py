@@ -55,6 +55,9 @@ from ..sim import Signal, Simulator
 from ..units import TEN_GBPS, ns, seconds, us
 from .flow_table import FlowEntry, FlowTable, OverlapError, TableFullError
 
+#: Sentinel distinguishing "no memo entry" from a remembered miss (None).
+_DP_UNKNOWN = object()
+
 
 @dataclass
 class _PacketInJob:
@@ -168,6 +171,13 @@ class OpenFlowSwitch:
         self.datapath_hits = 0
         self.datapath_misses = 0
         self.egress_drops = 0
+        # Datapath lookup memo: (in_port, frame bytes) -> (entry, rewritten
+        # data, out_ports), or None for a remembered miss. Matching is a
+        # pure function of the table's entries, so the memo is valid for
+        # exactly one table version; any add/modify/delete/expire bumps
+        # ``table.version`` and invalidates it wholesale.
+        self._dp_cache = {}
+        self._dp_cache_version = -1
         # Timeout expiry scan (daemon, once a simulated second).
         self._schedule_expiry_scan()
         # A switch opens the handshake with HELLO.
@@ -399,17 +409,51 @@ class OpenFlowSwitch:
 
         return handler
 
+    _DP_CACHE_MAX = 4096
+
     def _datapath(self, packet: Packet, in_port: int) -> None:
-        key = Match.from_packet(packet.data, in_port)
-        entry = self.table.lookup(key, self.sim.now, packet.frame_length)
-        if entry is None:
+        table = self.table
+        if self._dp_cache_version != table.version:
+            self._dp_cache.clear()
+            self._dp_cache_version = table.version
+        cache = self._dp_cache
+        memo_key = (in_port, packet.data)
+        cached = cache.get(memo_key, _DP_UNKNOWN)
+        if cached is _DP_UNKNOWN:
+            key = Match.from_packet(packet.data, in_port)
+            entry = table.lookup(key, self.sim.now, packet.frame_length)
+            if entry is None:
+                if len(cache) >= self._DP_CACHE_MAX:
+                    cache.clear()
+                cache[memo_key] = None
+                self.datapath_misses += 1
+                self.sim.call_after(
+                    self.profile.packet_in_delay_ps,
+                    self._queue_packet_in,
+                    packet,
+                    in_port,
+                )
+                return
+            data, out_ports = apply_rewrites(packet.data, entry.actions)
+            if len(cache) >= self._DP_CACHE_MAX:
+                cache.clear()
+            cache[memo_key] = (entry, data, out_ports)
+        elif cached is None:
+            # Remembered miss: replay the table counters the full lookup
+            # would have produced, then take the packet-in path.
+            table.lookups += 1
+            table.misses += 1
             self.datapath_misses += 1
             self.sim.call_after(
                 self.profile.packet_in_delay_ps, self._queue_packet_in, packet, in_port
             )
             return
+        else:
+            entry, data, out_ports = cached
+            table.lookups += 1
+            table.hits += 1
+            entry.note_hit(self.sim.now, packet.frame_length)
         self.datapath_hits += 1
-        data, out_ports = apply_rewrites(packet.data, entry.actions)
         for port in out_ports:
             self._output(data, port, in_port, from_table=True)
 

@@ -1,5 +1,6 @@
 """NetFPGA-10G hardware substrate: MACs, links, DMA, clocks, registers."""
 
+from .burst import DATAPATH_IMPLS, DEFAULT_DATAPATH_IMPL, resolve_datapath
 from .dma import DmaEngine, DmaStats
 from .fifo import ByteFifo
 from .mac import MacStats, RxMac, TxMac
@@ -11,6 +12,8 @@ from .timestamp import FRACTION_SCALE, TICK_PS, TimestampUnit, ps_to_raw, raw_to
 __all__ = [
     "AxiLiteBus",
     "ByteFifo",
+    "DATAPATH_IMPLS",
+    "DEFAULT_DATAPATH_IMPL",
     "DEFAULT_PROPAGATION_PS",
     "DmaEngine",
     "DmaStats",
@@ -29,4 +32,5 @@ __all__ = [
     "connect",
     "ps_to_raw",
     "raw_to_ps",
+    "resolve_datapath",
 ]

@@ -1,0 +1,603 @@
+"""The batched (burst) datapath for the generator → monitor hot loop.
+
+The per-packet datapath spends three to four kernel events on every
+frame of a line-rate run: the generator's process wake, the TX MAC's
+serializer chain event and the link's delivery event. At 14.88 Mpps a
+millisecond of simulated traffic is ~45 000 events whose callbacks all
+do the same integer arithmetic with different timestamps.
+
+This module replaces that loop with *burst advancement*: one controller
+event per work window advances packed scalar state — next wake time,
+serializer clear time, FIFO occupancy, parked delivery runs — through
+generator scheduling, TX-MAC serialization, link delay and RX delivery
+arithmetically, touching the kernel only where ordering is observable.
+Full :class:`~repro.net.packet.Packet` objects are never materialized on
+an eligible lane; observation points that need them (capture buffers,
+spans, tracers, filters, fault hooks) make a lane ineligible and it
+falls back to the stock per-packet path, so results stay bit-identical
+by construction (proven by tests/test_datapath_equivalence.py).
+
+Selection follows the ``REPRO_EVENT_QUEUE`` precedent: the
+``REPRO_DATAPATH`` environment variable or the ``datapath=`` argument
+of :class:`~repro.osnt.generator.engine.PortGenerator` picks
+``"packet"`` or ``"burst"``.
+
+Correctness rules the controller honours:
+
+* **Window = inter-event gap.** A work window never crosses the next
+  queued kernel event (daemon rate ticks, GPS pulses, other processes)
+  or the active ``run(until=)`` bound, so no callback can observe
+  counters mid-window and oscillator anchors are constant within one.
+* **RX counters are parked.** Deliveries landing at or beyond the
+  window edge are held and applied after the boundary events fire —
+  the same order the per-packet path produces, where a rate tick
+  (scheduled an interval earlier, lower seq) beats a same-time delivery.
+* **Exact-time duties fire exactly.** The generator's finish (which
+  fires its ``done`` signal and stamps ``finished_at_ps``) and the final
+  trailing MAC/delivery time each get a dedicated controller firing at
+  that precise simulated time, keeping ``sim.now`` at run end identical
+  to the per-packet datapath.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from collections import deque
+from typing import Optional
+
+from ..errors import ConfigError, SimulationError
+from ..units import ETH_PREAMBLE_BYTES, frame_wire_bytes, wire_time_ps
+from .timestamp import raw_to_ps
+
+#: Selectable datapath implementations (see module docstring). Burst is
+#: the default (like the timing-wheel event queue); ``REPRO_DATAPATH=packet``
+#: is the escape hatch back to the stock per-packet processes.
+DATAPATH_IMPLS = ("packet", "burst")
+DEFAULT_DATAPATH_IMPL = "burst"
+
+_STAMP_BYTES = 8
+_INF = math.inf
+
+
+def resolve_datapath(explicit: Optional[str] = None) -> str:
+    """Pick the datapath implementation: argument, env var, default."""
+    impl = explicit or os.environ.get("REPRO_DATAPATH") or DEFAULT_DATAPATH_IMPL
+    if impl not in DATAPATH_IMPLS:
+        raise ConfigError(
+            f"unknown datapath {impl!r}; choose from {sorted(DATAPATH_IMPLS)}"
+        )
+    return impl
+
+
+def attach_lane(engine) -> "BurstLane":
+    """Register a started generator with its simulator's burst controller."""
+    sim = engine.sim
+    controller = getattr(sim, "_burst_controller", None)
+    if controller is None:
+        controller = BurstController(sim)
+        sim._burst_controller = controller
+    lane = BurstLane(controller, engine)
+    controller.register(lane)
+    return lane
+
+
+class BurstController:
+    """One foreground kernel event serving every burst lane of one sim.
+
+    The controller keeps at most one pending event. Each firing defers
+    to any other same-time events (rescheduling itself with a fresh,
+    maximal sequence number — exactly how the per-packet path's events,
+    scheduled later than long-standing daemon ticks, order after them),
+    performs exact-time duties, then advances every lane to the next
+    kernel event's time.
+    """
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.lanes: list = []
+        self._event = None
+
+    def register(self, lane: "BurstLane") -> None:
+        self.lanes.append(lane)
+        self.wake_at(self.sim.now)
+
+    def wake_at(self, time_ps: int) -> None:
+        """Ensure a firing no later than ``time_ps``."""
+        event = self._event
+        if event is not None and not event.fired:
+            if event.time <= time_ps:
+                return
+            self.sim.cancel(event)
+        self._event = self.sim.call_at(time_ps, self._fire)
+
+    def _fire(self) -> None:
+        self._event = None
+        sim = self.sim
+        now = sim.now
+        queue = sim._queue
+        # Defer: events already queued at this instant carry lower
+        # sequence numbers than this firing would have given any work
+        # scheduled now, so they go first — then we resume at the same
+        # time. Terminates because boundary events do not re-arm
+        # themselves at their own firing time.
+        if queue.peek_time() == now:
+            self._event = sim.call_at(now, self._fire)
+            return
+        for lane in self.lanes:
+            if lane.pending_finish_at == now:
+                lane.finish(now)
+        if queue.peek_time() == now:
+            # finish() fired done signals whose waiters woke at `now`;
+            # let them run before batching further work.
+            self._event = sim.call_at(now, self._fire)
+            return
+        horizon = queue.peek_time()
+        limit = _INF if horizon is None else horizon
+        until = sim._run_until
+        if until is not None and until + 1 < limit:
+            limit = until + 1
+        need = _INF
+        active = []
+        for lane in self.lanes:
+            lane.advance(limit)
+            if lane.complete:
+                continue
+            active.append(lane)
+            t = lane.next_required(limit)
+            if t < need:
+                need = t
+        self.lanes = active
+        if active and need != _INF:
+            self._event = sim.call_at(int(need), self._fire)
+
+
+class BurstLane:
+    """Arithmetic emulation of one generator → TX MAC → link → RX path.
+
+    Eligibility is audited at the first controller firing; ineligible
+    lanes spawn the stock per-packet process instead (in registration
+    order, preserving the packet datapath's scheduling order). Cheap
+    invariants are re-checked every window; a mid-run violation (e.g.
+    host capture enabled while a lane is active) fails loudly rather
+    than silently dropping observations.
+    """
+
+    def __init__(self, controller: BurstController, engine) -> None:
+        self.controller = controller
+        self.sim = engine.sim
+        self.engine = engine
+        self.audited = False
+        self.complete = False
+        self.emitting = False
+        self.finished = False
+        self.pending_finish_at: Optional[int] = None
+        self.tx = None
+
+    # -- eligibility -------------------------------------------------------
+
+    def _audit(self) -> bool:
+        from ..osnt.generator.schedule import ConstantGap, LineRate
+        from ..osnt.generator.source import TemplateSource
+        from ..osnt.monitor.capture import LATENCY_SANITY_PS, CapturePipeline
+
+        engine = self.engine
+        sim = self.sim
+        port = engine.port
+        tx = port.tx
+        source = engine.source
+        link = port.link
+        if tx._burst_lane is not None:
+            raise SimulationError(
+                f"generator {engine.name!r} restarted while a previous burst "
+                "lane is still draining its MAC; run with REPRO_DATAPATH=packet"
+            )
+        ok = (
+            sim.spans is None
+            and sim._tracer is None
+            and type(source) is TemplateSource
+            and not source.modifiers
+            and (
+                engine.limit_count is not None
+                or engine.limit_duration_ps is not None
+                or source.count is not None
+            )
+            and tx.on_start_of_frame is engine.timestamper
+            and not engine.timestamper.enabled
+            and tx._deliver is not None
+            and not tx._busy
+            and tx.fifo.is_empty
+            and link is not None
+            and not link._impairments
+            and link.bit_error_rate == 0
+        )
+        pipeline = None
+        if ok:
+            rx = link.peer_of(port).rx
+            sinks = rx._sinks
+            if len(sinks) == 1:
+                bound = sinks[0]
+                owner = getattr(bound, "__self__", None)
+                if (
+                    isinstance(owner, CapturePipeline)
+                    and getattr(bound, "__func__", None) is CapturePipeline._on_frame
+                    and not owner.enabled
+                ):
+                    pipeline = owner
+        if pipeline is None:
+            return False
+
+        self.tx = tx
+        self.fifo = tx.fifo
+        self.link = link
+        self.rx = rx
+        self.pipeline = pipeline
+        self.unit = pipeline.timestamp_unit
+        self.sanity = LATENCY_SANITY_PS
+        self.source = source
+        self.template = source.template
+        self.data = source.template.data
+        # Packet.frame_length semantics: FCS included, sub-minimum
+        # frames padded to 64 — the value every stock counter records.
+        self.flen = max(len(self.data) + 4, 64)
+        self.fwb = frame_wire_bytes(self.flen)
+        rate = tx.rate_bps
+        self.slot = wire_time_ps(self.fwb, rate)
+        self.serialize = wire_time_ps(ETH_PREAMBLE_BYTES + max(self.flen, 64), rate)
+        self.dconst = self.serialize + tx._delivery_delay_ps
+        self.capacity = tx.fifo.capacity_bytes
+        self.schedule = engine.schedule
+        counts = [c for c in (engine.limit_count, source.count) if c is not None]
+        self.max_count = min(counts) if counts else None
+        now = sim.now
+        self.deadline = (
+            now + engine.limit_duration_ps
+            if engine.limit_duration_ps is not None
+            else None
+        )
+        self.index = 0
+        self.next_wake = now
+        self.occupancy = 0
+        self.backlog: deque = deque()
+        self.clear: Optional[int] = None
+        self.parked: deque = deque()  # (first_d, count, stride) runs
+        self.emitting = True
+        self.last_event_time = now
+        self._tx_stamp_cache: dict = {}
+        # The O(1) bulk path needs a stateless constant-gap schedule that
+        # never queues (gap covers the wire slot) and can never tail-drop.
+        gap = None
+        if type(self.schedule) in (LineRate, ConstantGap):
+            gap = self.schedule.gap_after(self.flen)
+        self.bulk_gap = (
+            gap
+            if gap is not None and gap > 0 and gap >= self.slot and self.flen <= self.capacity
+            else None
+        )
+        engine.stats.started_at_ps = now
+        tx._burst_lane = self
+        return True
+
+    def _recheck(self) -> None:
+        engine = self.engine
+        sim = self.sim
+        source = self.source
+        rx = self.rx
+        pipeline = self.pipeline
+        ok = (
+            sim.spans is None
+            and sim._tracer is None
+            and not self.link._impairments
+            and self.link.bit_error_rate == 0
+            and not pipeline.enabled
+            and len(rx._sinks) == 1
+            and getattr(rx._sinks[0], "__self__", None) is pipeline
+        )
+        if ok and self.emitting:
+            # Generator-side invariants only matter while frames are
+            # still being emitted; a finished engine may legitimately be
+            # reconfigured while its old lane drains.
+            ok = (
+                not engine.timestamper.enabled
+                and self.tx.on_start_of_frame is engine.timestamper
+                and engine.schedule is self.schedule
+                and engine.source is source
+                and not source.modifiers
+                and source.template is self.template
+                and self.template.data is self.data
+            )
+        if not ok:
+            raise SimulationError(
+                f"generator {engine.name!r}: observation point armed while a "
+                "burst-datapath lane is active (spans/tracer/capture/faults "
+                "must be configured before start, or run with "
+                "REPRO_DATAPATH=packet)"
+            )
+
+    def _fallback(self) -> None:
+        from ..sim import spawn
+
+        engine = self.engine
+        engine._burst_lane = None
+        self.complete = True
+        self.emitting = False
+        engine._process = spawn(engine.sim, engine._run(), name=engine.name)
+
+    # -- window advancement ------------------------------------------------
+
+    def advance(self, limit) -> None:
+        """Process all lane work strictly before ``limit``."""
+        if self.complete:
+            return
+        if not self.audited:
+            self.audited = True
+            if not self._audit():
+                self._fallback()
+                return
+        else:
+            self._recheck()
+        if self.emitting:
+            if self.bulk_gap is not None:
+                self._emit_bulk(limit)
+            else:
+                self._emit_serial(limit)
+        work_limit = limit
+        if self.pending_finish_at is not None:
+            # Until the finish fires (at its exact time), stay at or
+            # before it: a woken waiter must not observe later work.
+            work_limit = min(work_limit, self.pending_finish_at + 1)
+        self._drain_starts(work_limit - 1)
+        self._apply_deliveries(work_limit)
+        if (
+            self.finished
+            and not self.backlog
+            and not self.parked
+            and self.sim.now >= self.last_event_time
+        ):
+            self.complete = True
+            if self.tx is not None and self.tx._burst_lane is self:
+                self.tx._burst_lane = None
+
+    def next_required(self, limit):
+        """Earliest time this lane needs a controller firing."""
+        if self.pending_finish_at is not None:
+            return min(limit, self.pending_finish_at)
+        if self.finished and not self.backlog and not self.parked:
+            # One final (no-op) firing keeps sim.now's end-of-run value
+            # identical to the trailing chain/delivery events of the
+            # per-packet path.
+            return self.last_event_time
+        return limit
+
+    def _emit_serial(self, limit) -> None:
+        """Per-frame emission: any schedule, queueing and drops allowed."""
+        w = self.next_wake
+        index = self.index
+        flen = self.flen
+        max_count = self.max_count
+        deadline = self.deadline
+        schedule = self.schedule
+        capacity = self.capacity
+        fifo = self.fifo
+        gen_stats = self.engine.stats
+        tx_sizes = self.engine.tx_sizes
+        while w < limit:
+            if (max_count is not None and index >= max_count) or (
+                deadline is not None and w >= deadline
+            ):
+                self._begin_finish(w)
+                break
+            self._drain_starts(w)
+            if self.occupancy + flen > capacity:
+                fifo.dropped += 1
+                self.tx.stats.drops_overflow += 1
+                gen_stats.tx_fifo_drops += 1
+            else:
+                occ = self.occupancy = self.occupancy + flen
+                fifo.enqueued += 1
+                if occ > fifo.peak_occupancy_bytes:
+                    fifo.peak_occupancy_bytes = occ
+                gen_stats.sent += 1
+                gen_stats.sent_bytes += flen
+                tx_sizes.record(flen)
+                self.backlog.append(w)
+                self._drain_starts(w)
+            index += 1
+            w += schedule.gap_after(flen)
+        self.index = index
+        self.next_wake = w
+
+    def _emit_bulk(self, limit) -> None:
+        """O(1) emission for constant-gap, never-queueing schedules."""
+        gap = self.bulk_gap
+        w = self.next_wake
+        flen = self.flen
+        remaining = _INF
+        if self.max_count is not None:
+            remaining = self.max_count - self.index
+        if self.deadline is not None:
+            by_deadline = (
+                0 if self.deadline <= w else (self.deadline - 1 - w) // gap + 1
+            )
+            if by_deadline < remaining:
+                remaining = by_deadline
+        in_window = _INF if limit == _INF else (
+            0 if limit <= w else (limit - 1 - w) // gap + 1
+        )
+        n = int(min(remaining, in_window))
+        if n:
+            s_last = w + (n - 1) * gap
+            gen_stats = self.engine.stats
+            gen_stats.sent += n
+            gen_stats.sent_bytes += n * flen
+            self.engine.tx_sizes.record_repeat(flen, n)
+            fifo = self.fifo
+            fifo.enqueued += n
+            if flen > fifo.peak_occupancy_bytes:
+                fifo.peak_occupancy_bytes = flen
+            txs = self.tx.stats
+            txs.packets += n
+            txs.bytes += n * flen
+            txs.wire_bytes += n * self.fwb
+            txs.busy_ps += n * self.slot
+            if txs.first_activity_ps is None:
+                txs.first_activity_ps = w
+            txs.last_activity_ps = s_last
+            self.clear = clear = s_last + self.slot
+            if clear > self.last_event_time:
+                self.last_event_time = clear
+            d_first = w + self.dconst
+            self.parked.append((d_first, n, gap))
+            d_last = d_first + (n - 1) * gap
+            if d_last > self.last_event_time:
+                self.last_event_time = d_last
+            self.index += n
+            self.next_wake = w = w + n * gap
+        if n == remaining:
+            # Count or deadline reached: the next wake is the finishing one.
+            self._begin_finish(w)
+
+    def _begin_finish(self, wake: int) -> None:
+        self.pending_finish_at = wake
+        self.emitting = False
+
+    def _drain_starts(self, t) -> None:
+        """Start serialization of queued frames whose start time is <= t."""
+        backlog = self.backlog
+        if not backlog:
+            return
+        clear = self.clear
+        stats = self.tx.stats
+        flen = self.flen
+        slot = self.slot
+        fwb = self.fwb
+        dconst = self.dconst
+        parked = self.parked
+        while backlog:
+            push = backlog[0]
+            s = push if (clear is None or clear <= push) else clear
+            if s > t:
+                break
+            backlog.popleft()
+            self.occupancy -= flen
+            stats.packets += 1
+            stats.bytes += flen
+            stats.wire_bytes += fwb
+            if stats.first_activity_ps is None:
+                stats.first_activity_ps = s
+            stats.last_activity_ps = s
+            stats.busy_ps += slot
+            clear = s + slot
+            parked.append((s + dconst, 1, 0))
+        self.clear = clear
+        if clear is not None and clear > self.last_event_time:
+            self.last_event_time = clear
+        if parked:
+            last_d = parked[-1][0] + (parked[-1][1] - 1) * parked[-1][2]
+            if last_d > self.last_event_time:
+                self.last_event_time = last_d
+
+    def _apply_deliveries(self, limit) -> None:
+        """Apply RX-side effects for deliveries strictly before ``limit``."""
+        parked = self.parked
+        while parked:
+            d0, n, stride = parked[0]
+            if d0 >= limit:
+                break
+            if stride:
+                m = int(min(n, (limit - 1 - d0) // stride + 1))
+            else:
+                m = n
+            parked.popleft()
+            if m < n:
+                parked.appendleft((d0 + m * stride, n - m, stride))
+            self._apply_rx(d0, m, stride)
+
+    def _apply_rx(self, d0: int, m: int, stride: int) -> None:
+        flen = self.flen
+        last = d0 + (m - 1) * stride
+        rxs = self.rx.stats
+        rxs.packets += m
+        rxs.bytes += m * flen
+        rxs.wire_bytes += m * self.fwb
+        if rxs.first_activity_ps is None:
+            rxs.first_activity_ps = d0
+        rxs.last_activity_ps = last
+        mon = self.pipeline.stats
+        mon.rx_packets += m
+        mon.rx_bytes += m * flen
+        if mon.first_rx_ps is None:
+            mon.first_rx_ps = d0
+        mon.last_rx_ps = last
+        offset = self.pipeline._latency_offset
+        if offset is not None:
+            stamp = self._tx_stamp_cache.get(offset)
+            if stamp is None:
+                data = self.data
+                if offset + _STAMP_BYTES <= len(data):
+                    stamp = raw_to_ps(
+                        int.from_bytes(data[offset : offset + _STAMP_BYTES], "big")
+                    )
+                else:
+                    stamp = -1  # stamp field does not fit: always skipped
+                self._tx_stamp_cache[offset] = stamp
+            if stamp < 0:
+                self.pipeline.latency_skipped += m
+            else:
+                unit = self.unit
+                record = self.pipeline.latency.record
+                sanity = self.sanity
+                skipped = 0
+                for k in range(m):
+                    delta = unit.now_ps_at(d0 + k * stride) - stamp
+                    if 0 <= delta <= sanity:
+                        record(delta)
+                    else:
+                        skipped += 1
+                if skipped:
+                    self.pipeline.latency_skipped += skipped
+
+    # -- exact-time duties -------------------------------------------------
+
+    def finish(self, now: int) -> None:
+        """Run the generator's finish at its exact simulated time."""
+        self.pending_finish_at = None
+        if now > self.last_event_time:
+            self.last_event_time = now
+        # Same-time serializer/delivery work precedes the finish in the
+        # per-packet event order; apply it so woken waiters see it.
+        self._drain_starts(now)
+        self._apply_deliveries(now + 1)
+        self.finished = True
+        engine = self.engine
+        if engine._burst_lane is self:
+            engine._burst_lane = None
+        engine._finish()
+
+    def abort(self) -> None:
+        """Stop emitting (engine.stop()); queued frames keep draining."""
+        if self.complete:
+            return
+        if not self.audited:
+            # Never advanced: nothing was emitted, nothing to drain.
+            self.audited = True
+            self.complete = True
+            self.emitting = False
+            self.finished = True
+            return
+        now = self.sim.now
+        if self.emitting:
+            # Emissions at exactly `now` precede the stopping call in the
+            # per-packet event order; include them, then cut the stream.
+            if self.bulk_gap is not None:
+                self._emit_bulk(now + 1)
+            else:
+                self._emit_serial(now + 1)
+        self.pending_finish_at = None
+        self.emitting = False
+        if now > self.last_event_time:
+            self.last_event_time = now
+        self._drain_starts(now)
+        self._apply_deliveries(now + 1)
+        self.finished = True
+        self.controller.wake_at(now)

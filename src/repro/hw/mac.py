@@ -29,6 +29,11 @@ class MacStats:
 
     packets: int = 0
     bytes: int = 0  # frame bytes incl. FCS (what rate maths use)
+    #: Padded wire bytes incl. preamble and IFG — the bytes the
+    #: serializer actually clocked out. For sub-minimum frames this
+    #: disagrees with ``bytes`` (the MAC pads to 64); utilisation maths
+    #: must use this counter, not ``bytes``.
+    wire_bytes: int = 0
     errors: int = 0
     #: Frames lost to genuine FIFO exhaustion (tail drop under load).
     drops_overflow: int = 0
@@ -44,6 +49,7 @@ class MacStats:
     def note(self, now: int, frame_bytes: int) -> None:
         self.packets += 1
         self.bytes += frame_bytes
+        self.wire_bytes += frame_wire_bytes(frame_bytes)
         if self.first_activity_ps is None:
             self.first_activity_ps = now
         self.last_activity_ps = now
@@ -52,6 +58,7 @@ class MacStats:
         """Publish these counters as pull gauges under ``prefix``."""
         registry.gauge(f"{prefix}.packets", lambda: self.packets)
         registry.gauge(f"{prefix}.bytes", lambda: self.bytes)
+        registry.gauge(f"{prefix}.wire_bytes", lambda: self.wire_bytes)
         registry.gauge(f"{prefix}.errors", lambda: self.errors)
         registry.gauge(f"{prefix}.drops.overflow", lambda: self.drops_overflow)
         registry.gauge(f"{prefix}.drops.injected", lambda: self.drops_injected)
@@ -83,6 +90,11 @@ class TxMac:
         #: arrival on the peer (serialization + propagation later).
         self._deliver: Optional[Callable[[Packet], None]] = None
         self._delivery_delay_ps = 0
+        #: Set while a burst-datapath lane is emulating this MAC's
+        #: serialization arithmetically (see :mod:`repro.hw.burst`).
+        #: Foreign enqueues would corrupt that emulation, so they fail
+        #: loudly instead of silently interleaving.
+        self._burst_lane = None
 
     def attach_delivery(self, deliver: Callable[[Packet], None], propagation_ps: int) -> None:
         self._deliver = deliver
@@ -94,6 +106,14 @@ class TxMac:
 
     def enqueue(self, packet: Packet) -> bool:
         """Stage a frame for transmission; False if the FIFO tail-drops."""
+        if self._burst_lane is not None:
+            from ..errors import SimulationError
+
+            raise SimulationError(
+                f"MAC {self.name!r} is driven by a burst-datapath lane; "
+                "per-packet enqueues would corrupt its emulated state "
+                "(run with REPRO_DATAPATH=packet)"
+            )
         if not self.fifo.push(packet):
             self.stats.drops_overflow += 1
             return False

@@ -74,6 +74,24 @@ class TimestampUnit:
         device = self.device_time_ps()
         return device - (device % TICK_PS)
 
+    def now_ps_at(self, true_time_ps: int) -> int:
+        """Quantised device time as it will read at ``true_time_ps``.
+
+        Exactly what :meth:`now_ps` would return with the simulation
+        clock at ``true_time_ps``, *provided* the oscillator is not
+        rebased (GPS pulse, phase step) between now and then. The
+        batched datapath uses this to stamp frames whose delivery time
+        is known arithmetically; its work windows never span an
+        oscillator event, so the reading is exact.
+        """
+        if self._frozen_at is not None:
+            device = self._frozen_at
+        elif self.oscillator is not None:
+            device = self.oscillator.device_time(true_time_ps)
+        else:
+            device = true_time_ps
+        return device - (device % TICK_PS)
+
     def now_raw(self) -> int:
         """The 64-bit counter value the hardware would latch now."""
         return ps_to_raw(self.now_ps()) & 0xFFFFFFFFFFFFFFFF

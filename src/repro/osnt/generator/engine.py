@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ...errors import GeneratorError
+from ...hw.burst import attach_lane, resolve_datapath
 from ...hw.port import EthernetPort
 from ...hw.timestamp import TimestampUnit
 from ...sim import Signal, Simulator, spawn
@@ -59,10 +60,17 @@ class PortGenerator:
         port: EthernetPort,
         timestamp_unit: TimestampUnit,
         name: str = "gen",
+        datapath: Optional[str] = None,
     ) -> None:
         self.sim = sim
         self.port = port
         self.name = name
+        #: Selected datapath: explicit argument beats ``REPRO_DATAPATH``
+        #: beats the default (see :mod:`repro.hw.burst`). ``"burst"``
+        #: batch-advances eligible runs and falls back to the per-packet
+        #: process wherever an observation point needs real packets.
+        self.datapath_impl = resolve_datapath(datapath)
+        self._burst_lane = None
         self.timestamper = TxTimestamper(timestamp_unit, enabled=False)
         port.tx.on_start_of_frame = self.timestamper
         self.stats = GeneratorStats()
@@ -119,10 +127,18 @@ class PortGenerator:
         self.stats = GeneratorStats()
         self.schedule.reset()
         self.source.reset()
+        if self.datapath_impl == "burst":
+            self._process = None
+            self._burst_lane = attach_lane(self)
+            return
         self._process = spawn(self.sim, self._run(), name=self.name)
 
     def stop(self) -> None:
         """Abort the run; already-queued frames still drain from the MAC."""
+        lane = self._burst_lane
+        if lane is not None:
+            self._burst_lane = None
+            lane.abort()
         if self._process is not None:
             self._process.kill()
         self._finish()

@@ -75,6 +75,10 @@ class Simulator:
         self._seq: int = 0
         self._running = False
         self._stop_requested = False
+        #: The ``until`` bound of the active :meth:`run` call (None when
+        #: open-ended or idle). Batched components (:mod:`repro.hw.burst`)
+        #: read it to avoid advancing state past the run horizon.
+        self._run_until: Optional[int] = None
         self.events_processed: int = 0
         self._tracer: Optional[Any] = None
         #: Cached kernel trace hooks (see :meth:`set_tracer`). With a
@@ -271,6 +275,7 @@ class Simulator:
             )
         self._running = True
         self._stop_requested = False
+        self._run_until = until
         queue = self._queue
         peek_time = queue.peek_time
         pop = queue.pop
@@ -307,6 +312,7 @@ class Simulator:
                 fired += 1
         finally:
             self._running = False
+            self._run_until = None
         if until is not None and not self._stop_requested:
             self._now = max(self._now, until)
         return fired

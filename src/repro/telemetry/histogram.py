@@ -118,6 +118,28 @@ class LogLinearHistogram:
         for value in values:
             self.record(value)
 
+    def record_repeat(self, value: int, repeat: int) -> None:
+        """O(1): record the same value ``repeat`` times.
+
+        Exactly equivalent to calling :meth:`record` ``repeat`` times —
+        the batched datapath uses this for constant-size frame runs.
+        """
+        if repeat <= 0:
+            return
+        if value < 0:
+            self.rejected += repeat
+            return
+        value = int(value)
+        index = self._index_of(value)
+        counts = self._counts
+        counts[index] = counts.get(index, 0) + repeat
+        self.count += repeat
+        self.total += value * repeat
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
     # -- bucket geometry ---------------------------------------------------
 
     def bucket_bounds(self, index: int) -> Tuple[int, int]:

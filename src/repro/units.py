@@ -11,6 +11,7 @@ convert between rates, byte counts and wire times.
 
 from __future__ import annotations
 
+import math
 import re
 
 from .errors import ConfigError
@@ -24,24 +25,31 @@ PS_PER_MS = 1_000_000_000
 PS_PER_SEC = 1_000_000_000_000
 
 
+def _finite(value: float, what: str) -> float:
+    """Reject inf/NaN before ``round()`` can leak a raw OverflowError."""
+    if isinstance(value, float) and not math.isfinite(value):
+        raise ConfigError(f"{what} must be finite, got {value!r}")
+    return value
+
+
 def ns(value: float) -> int:
     """Convert nanoseconds to integer picoseconds."""
-    return round(value * PS_PER_NS)
+    return round(_finite(value, "time value") * PS_PER_NS)
 
 
 def us(value: float) -> int:
     """Convert microseconds to integer picoseconds."""
-    return round(value * PS_PER_US)
+    return round(_finite(value, "time value") * PS_PER_US)
 
 
 def ms(value: float) -> int:
     """Convert milliseconds to integer picoseconds."""
-    return round(value * PS_PER_MS)
+    return round(_finite(value, "time value") * PS_PER_MS)
 
 
 def seconds(value: float) -> int:
     """Convert seconds to integer picoseconds."""
-    return round(value * PS_PER_SEC)
+    return round(_finite(value, "time value") * PS_PER_SEC)
 
 
 def to_seconds(ps: int) -> float:
@@ -91,7 +99,8 @@ def parse_duration(text: str) -> int:
             f"unparseable duration: {text!r} (expected e.g. '10ms', '2.5us', '1s')"
         )
     multiplier = _DURATION_MULTIPLIERS[match.group("unit").lower()]
-    return round(float(match.group("num")) * multiplier)
+    number = _finite(float(match.group("num")), f"duration {text!r}")
+    return round(number * multiplier)
 
 
 def duration_ps(value) -> int:
@@ -107,6 +116,7 @@ def duration_ps(value) -> int:
         return parse_duration(value)
     if isinstance(value, bool) or not isinstance(value, (int, float)):
         raise ConfigError(f"duration must be a number of ps or a string, got {value!r}")
+    _finite(value, "duration")
     if value < 0:
         raise ConfigError(f"duration must be non-negative, got {value!r}")
     return round(value)
@@ -126,6 +136,7 @@ def rate_bps(value) -> float:
         raise ConfigError(f"rate must be bits/second or a string, got {value!r}")
     else:
         parsed = float(value)
+    _finite(parsed, "rate")
     if parsed <= 0:
         raise ConfigError(f"rate must be positive, got {value!r}")
     return parsed

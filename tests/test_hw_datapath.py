@@ -188,6 +188,50 @@ class TestMacTiming:
         assert arrivals == [ns(576)]
 
 
+class TestWireByteAccounting:
+    """``MacStats.wire_bytes`` tracks padded wire bytes (frame + padding
+    + preamble + IFG) alongside the raw frame-byte counter; utilisation
+    maths must use it, because sub-minimum frames disagree."""
+
+    def test_full_size_frame_wire_bytes(self):
+        sim = Simulator()
+        a, b = linked_pair(sim)
+        a.send(build_udp(frame_size=512))
+        sim.run()
+        assert a.tx.stats.bytes == 512
+        assert a.tx.stats.wire_bytes == frame_wire_bytes(512) == 532
+        assert b.rx.stats.wire_bytes == frame_wire_bytes(512)
+
+    def test_sub_minimum_frame_exact_accounting(self):
+        """A 60-byte runt pads to the 64-byte minimum: frame bytes count
+        the padded frame, wire bytes add preamble and IFG on top, and
+        busy time follows the wire bytes exactly."""
+        sim = Simulator()
+        a, b = linked_pair(sim)
+        runt = Packet(bytes(56))  # 60B incl. FCS — below the 64B minimum
+        assert runt.frame_length == 64  # MAC minimum padding
+        a.send(runt)
+        sim.run()
+        assert a.tx.stats.bytes == 64
+        assert a.tx.stats.wire_bytes == frame_wire_bytes(64) == 84
+        assert a.tx.stats.wire_bytes > a.tx.stats.bytes
+        assert a.tx.stats.busy_ps == wire_time_ps(84, TEN_GBPS)
+        assert b.rx.stats.bytes == 64
+        assert b.rx.stats.wire_bytes == 84
+
+    def test_mixed_sizes_sum_exactly(self):
+        sim = Simulator()
+        a, b = linked_pair(sim)
+        a.send(Packet(bytes(56)))
+        a.send(build_udp(frame_size=1518))
+        sim.run()
+        assert a.tx.stats.bytes == 64 + 1518
+        assert a.tx.stats.wire_bytes == frame_wire_bytes(64) + frame_wire_bytes(1518)
+        assert a.tx.stats.busy_ps == wire_time_ps(
+            a.tx.stats.wire_bytes, TEN_GBPS
+        )
+
+
 class TestDma:
     def test_delivers_in_order_with_bandwidth_delay(self):
         sim = Simulator()

@@ -1,0 +1,277 @@
+"""Property-based pack/unpack round-trips for :mod:`repro.net`.
+
+The burst datapath moves frame bytes around without reparsing them, so
+the protocol encoders are the single point where wire bytes are decided.
+These hypothesis properties pin the contract the rest of the simulator
+leans on: ``unpack(pack(x))`` recovers every field, checksums verify on
+untampered bytes, sub-minimum frames report the padded wire length, and
+the FCS catches any single corrupted byte.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net import Packet, build_udp, parser
+from repro.net.checksum import (
+    ethernet_fcs,
+    internet_checksum,
+    pseudo_header_checksum,
+    verify_ethernet_fcs,
+)
+from repro.net.ethernet import ETHERTYPE_VLAN, EthernetHeader, VlanTag
+from repro.net.fields import ipv4_to_str, mac_to_str
+from repro.net.ipv4 import PROTO_UDP, Ipv4Header
+from repro.net.tcp import TcpHeader
+from repro.net.udp import UDP_HEADER_LEN, UdpHeader
+from repro.units import ETH_FCS_BYTES, ETH_MIN_FRAME
+
+# -- strategies --------------------------------------------------------------
+
+macs = st.binary(min_size=6, max_size=6).map(mac_to_str)
+ipv4_addrs = st.integers(min_value=0, max_value=2**32 - 1).map(ipv4_to_str)
+packed_ipv4 = st.binary(min_size=4, max_size=4)
+ports = st.integers(min_value=0, max_value=0xFFFF)
+#: Options must pad to a 4-byte multiple; both IPv4 and TCP allow up to
+#: 40 bytes (10 words beyond the 5-word minimum header).
+l3l4_options = st.integers(min_value=0, max_value=10).flatmap(
+    lambda words: st.binary(min_size=4 * words, max_size=4 * words)
+)
+
+
+class TestEthernetRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        dst=macs,
+        src=macs,
+        ethertype=st.integers(min_value=0, max_value=0xFFFF),
+        trailer=st.binary(max_size=32),
+    )
+    def test_header_round_trips(self, dst, src, ethertype, trailer):
+        header = EthernetHeader(dst=dst, src=src, ethertype=ethertype)
+        wire = header.pack() + trailer
+        parsed, offset = EthernetHeader.unpack(wire)
+        assert parsed == header
+        assert offset == 14
+        assert wire[offset:] == trailer
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        pcp=st.integers(min_value=0, max_value=7),
+        dei=st.integers(min_value=0, max_value=1),
+        vid=st.integers(min_value=0, max_value=0xFFF),
+        inner=st.integers(min_value=0, max_value=0xFFFF),
+    )
+    def test_vlan_tag_round_trips(self, pcp, dei, vid, inner):
+        tag = VlanTag(pcp=pcp, dei=dei, vid=vid, inner_ethertype=inner)
+        wire = tag.pack()
+        assert len(wire) == 4
+        parsed, offset = VlanTag.unpack(wire, 0)
+        assert parsed == tag
+        assert offset == 4
+
+    @settings(max_examples=40, deadline=None)
+    @given(dst=macs, src=macs, vid=st.integers(min_value=0, max_value=0xFFF))
+    def test_tagged_frame_unpacks_through_both_layers(self, dst, src, vid):
+        eth = EthernetHeader(dst=dst, src=src, ethertype=ETHERTYPE_VLAN)
+        tag = VlanTag(vid=vid, inner_ethertype=0x0800)
+        wire = eth.pack() + tag.pack()
+        parsed_eth, offset = EthernetHeader.unpack(wire)
+        assert parsed_eth.ethertype == ETHERTYPE_VLAN
+        parsed_tag, offset = VlanTag.unpack(wire, offset)
+        assert parsed_tag.vid == vid
+        assert offset == len(wire)
+
+
+class TestIpv4RoundTrip:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        src=ipv4_addrs,
+        dst=ipv4_addrs,
+        protocol=st.integers(min_value=0, max_value=255),
+        ttl=st.integers(min_value=0, max_value=255),
+        identification=st.integers(min_value=0, max_value=0xFFFF),
+        dscp=st.integers(min_value=0, max_value=63),
+        ecn=st.integers(min_value=0, max_value=3),
+        flags=st.integers(min_value=0, max_value=7),
+        fragment_offset=st.integers(min_value=0, max_value=0x1FFF),
+        options=l3l4_options,
+        payload_length=st.integers(min_value=0, max_value=1480),
+    )
+    def test_header_round_trips_including_options(
+        self,
+        src,
+        dst,
+        protocol,
+        ttl,
+        identification,
+        dscp,
+        ecn,
+        flags,
+        fragment_offset,
+        options,
+        payload_length,
+    ):
+        header = Ipv4Header(
+            src=src,
+            dst=dst,
+            protocol=protocol,
+            ttl=ttl,
+            identification=identification,
+            dscp=dscp,
+            ecn=ecn,
+            flags=flags,
+            fragment_offset=fragment_offset,
+            options=options,
+        )
+        wire = header.pack(payload_length)
+        assert len(wire) == header.header_length
+        parsed, offset = Ipv4Header.unpack(wire, 0)
+        assert offset == header.header_length
+        assert parsed.src == src
+        assert parsed.dst == dst
+        assert parsed.protocol == protocol
+        assert parsed.ttl == ttl
+        assert parsed.identification == identification
+        assert parsed.dscp == dscp
+        assert parsed.ecn == ecn
+        assert parsed.flags == flags
+        assert parsed.fragment_offset == fragment_offset
+        assert parsed.options == options
+        assert parsed.total_length == header.header_length + payload_length
+        assert parsed.verify_checksum(wire, 0)
+
+    def test_corrupted_header_fails_checksum(self):
+        header = Ipv4Header(src="10.0.0.1", dst="10.0.0.2", protocol=PROTO_UDP)
+        wire = bytearray(header.pack(100))
+        wire[8] ^= 0x01  # TTL 64 -> 65
+        parsed, _ = Ipv4Header.unpack(bytes(wire), 0)
+        assert not parsed.verify_checksum(bytes(wire), 0)
+
+
+class TestUdpRoundTrip:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        src_port=ports,
+        dst_port=ports,
+        payload=st.binary(max_size=200),
+        src_addr=packed_ipv4,
+        dst_addr=packed_ipv4,
+    )
+    def test_round_trips_with_valid_checksum(
+        self, src_port, dst_port, payload, src_addr, dst_addr
+    ):
+        header = UdpHeader(src_port=src_port, dst_port=dst_port)
+        wire = header.pack(payload, src_addr, dst_addr)
+        parsed, offset = UdpHeader.unpack(wire, 0)
+        assert parsed.src_port == src_port
+        assert parsed.dst_port == dst_port
+        assert parsed.length == UDP_HEADER_LEN + len(payload)
+        assert offset == UDP_HEADER_LEN
+        assert wire[offset:] == payload
+        # RFC 768: a datagram checksums to zero over the pseudo-header
+        # (the 0 -> 0xFFFF "no checksum" substitution is sum-neutral).
+        assert pseudo_header_checksum(src_addr, dst_addr, PROTO_UDP, wire) == 0
+        assert parsed.checksum != 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(src_port=ports, dst_port=ports, payload=st.binary(max_size=64))
+    def test_packs_without_checksum_when_addresses_omitted(
+        self, src_port, dst_port, payload
+    ):
+        wire = UdpHeader(src_port=src_port, dst_port=dst_port).pack(payload)
+        parsed, _ = UdpHeader.unpack(wire, 0)
+        assert parsed.checksum == 0
+
+
+class TestTcpRoundTrip:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        src_port=ports,
+        dst_port=ports,
+        seq=st.integers(min_value=0, max_value=2**32 - 1),
+        ack=st.integers(min_value=0, max_value=2**32 - 1),
+        flags=st.integers(min_value=0, max_value=0x3F),
+        window=st.integers(min_value=0, max_value=0xFFFF),
+        urgent=st.integers(min_value=0, max_value=0xFFFF),
+        options=l3l4_options,
+        payload=st.binary(max_size=200),
+        src_addr=packed_ipv4,
+        dst_addr=packed_ipv4,
+    )
+    def test_round_trips_including_options(
+        self,
+        src_port,
+        dst_port,
+        seq,
+        ack,
+        flags,
+        window,
+        urgent,
+        options,
+        payload,
+        src_addr,
+        dst_addr,
+    ):
+        header = TcpHeader(
+            src_port=src_port,
+            dst_port=dst_port,
+            seq=seq,
+            ack=ack,
+            flags=flags,
+            window=window,
+            urgent=urgent,
+            options=options,
+        )
+        wire = header.pack(payload, src_addr, dst_addr)
+        parsed, offset = TcpHeader.unpack(wire, 0)
+        assert parsed.src_port == src_port
+        assert parsed.dst_port == dst_port
+        assert parsed.seq == seq
+        assert parsed.ack == ack
+        assert parsed.flags == flags
+        assert parsed.window == window
+        assert parsed.urgent == urgent
+        assert parsed.options == options
+        assert offset == header.header_length
+        assert wire[offset:] == payload
+        # Segment checksums to zero over the pseudo-header when intact.
+        assert internet_checksum(
+            src_addr + dst_addr + bytes([0, 6]) + len(wire).to_bytes(2, "big") + wire
+        ) == 0
+
+
+class TestPaddingAndFcs:
+    @settings(max_examples=80, deadline=None)
+    @given(data=st.binary(min_size=14, max_size=120))
+    def test_sub_minimum_frames_report_padded_wire_length(self, data):
+        packet = Packet(data)
+        assert packet.frame_length == max(len(data) + ETH_FCS_BYTES, ETH_MIN_FRAME)
+
+    @settings(max_examples=40, deadline=None)
+    @given(frame_size=st.integers(min_value=64, max_value=1518))
+    def test_builder_frames_match_quoted_wire_size(self, frame_size):
+        packet = build_udp(frame_size=frame_size)
+        # frame_size quotes wire bytes incl. FCS; data excludes the FCS.
+        assert len(packet.data) == frame_size - ETH_FCS_BYTES
+        assert packet.frame_length == frame_size
+        decoded = parser.decode(packet.data)
+        assert decoded.l3 is not None
+        assert decoded.l4 is not None
+
+    @settings(max_examples=60, deadline=None)
+    @given(frame=st.binary(min_size=14, max_size=1514))
+    def test_fcs_verifies_untampered_frame(self, frame):
+        assert verify_ethernet_fcs(frame + ethernet_fcs(frame))
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        frame=st.binary(min_size=14, max_size=256),
+        data=st.data(),
+    )
+    def test_fcs_catches_any_single_byte_corruption(self, frame, data):
+        wire = bytearray(frame + ethernet_fcs(frame))
+        index = data.draw(st.integers(min_value=0, max_value=len(wire) - 1))
+        flip = data.draw(st.integers(min_value=1, max_value=255))
+        wire[index] ^= flip
+        assert not verify_ethernet_fcs(bytes(wire))

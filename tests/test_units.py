@@ -188,3 +188,42 @@ class TestFraming:
     def test_goodput_monotonic_in_frame_size(self, size):
         # Larger frames amortise the 20-byte overhead: goodput rises.
         assert units.line_rate_goodput_bps(size + 1) > units.line_rate_goodput_bps(size)
+
+
+class TestNonFiniteRejection:
+    """inf/NaN must surface as the documented ConfigError, not leak a
+    raw OverflowError (round(inf)) or ValueError from deep inside."""
+
+    NON_FINITE = (float("inf"), float("-inf"), float("nan"))
+
+    def test_time_helpers_reject_non_finite(self):
+        for value in self.NON_FINITE:
+            for helper in (units.ns, units.us, units.ms, units.seconds):
+                with pytest.raises(ConfigError):
+                    helper(value)
+
+    def test_duration_ps_rejects_non_finite(self):
+        for value in self.NON_FINITE:
+            with pytest.raises(ConfigError):
+                units.duration_ps(value)
+
+    def test_rate_bps_rejects_non_finite(self):
+        for value in self.NON_FINITE:
+            with pytest.raises(ConfigError):
+                units.rate_bps(value)
+
+    def test_parse_duration_rejects_overflowing_digit_strings(self):
+        # 400 digits parse to float('inf'); the error must still be the
+        # documented ConfigError, not a raw OverflowError from round().
+        with pytest.raises(ConfigError):
+            units.parse_duration("1" * 400 + "ms")
+
+    def test_experiment_spec_param_path_rejects_non_finite(self):
+        """A sweep param like duration=inf must die with ConfigError at
+        the scenario boundary, exactly like any other bad config."""
+        from repro.runner.registry import get_scenario
+
+        line_rate = get_scenario("line_rate")
+        for bad in (float("inf"), float("nan")):
+            with pytest.raises(ConfigError):
+                line_rate({"frame_size": 64, "duration": bad}, 0)
