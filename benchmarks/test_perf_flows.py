@@ -1,0 +1,63 @@
+"""Perf: closed-loop flows must stay cheap enough to sweep.
+
+The FCT scenarios put a full transport state machine behind every flow
+(per-segment events, ACK clocking, timers), which is far more event
+traffic per byte than the open-loop generator lanes. The budget here
+keeps that affordable: a 1,000-flow `fct_vs_loss` sweep (4 cells x 250
+flows, the LinkGuardian comparison grid) must finish within
+``BUDGET_S`` wall-clock on 2 workers — roughly 10x the time measured
+on a development machine, so only a real regression (per-segment
+allocation creep, timer churn, accidental O(n^2) in reassembly) trips
+it.
+"""
+
+import time
+
+from conftest import emit, run_once
+
+from repro.analysis import format_table
+from repro.runner import ExperimentSpec, run_spec
+
+#: Wall-clock ceiling for the 1k-flow sweep (seconds).
+BUDGET_S = 20.0
+FLOWS_PER_CELL = 250
+FLOW_BYTES = 20_000
+
+
+def flows_spec() -> ExperimentSpec:
+    return ExperimentSpec.from_dict(
+        {
+            "name": "perf-fct",
+            "scenario": "fct_vs_loss",
+            "params": {"n_flows": FLOWS_PER_CELL, "flow_bytes": FLOW_BYTES},
+            "axes": {"protected": [False, True], "corrupt_rate": [0.0, 1e-3]},
+            "seed": 6,
+            "timeout_s": 120.0,
+        }
+    )
+
+
+def test_perf_1k_flow_fct_sweep(benchmark):
+    def sweep():
+        start = time.monotonic()
+        report = run_spec(flows_spec(), workers=2)
+        elapsed = time.monotonic() - start
+        report.require_ok()
+        return elapsed, report
+
+    elapsed, report = run_once(benchmark, sweep)
+    rows = report.rows()
+    total = sum(row["flows"] for row in rows)
+    completed = sum(row["flows_completed"] for row in rows)
+    emit(
+        format_table(
+            ["cells", "flows", "completed", "wall s", "budget s"],
+            [[len(rows), total, completed, f"{elapsed:.2f}", f"{BUDGET_S:.0f}"]],
+            title="1k-flow fct_vs_loss sweep (2 workers)",
+        )
+    )
+    assert total == 4 * FLOWS_PER_CELL
+    assert completed == total, "flows failed to complete inside the sweep"
+    assert elapsed < BUDGET_S, (
+        f"1k-flow FCT sweep took {elapsed:.1f}s, budget {BUDGET_S:.0f}s"
+    )

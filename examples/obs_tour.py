@@ -26,7 +26,7 @@ import tempfile
 from repro.obs import SimProfiler, SpanRecorder
 from repro.sim import Simulator
 from repro.telemetry import Tracer, write_chrome_trace
-from repro.testbed.topology import LegacySwitchTestbed
+from repro.testbed.topology import legacy_testbed
 from repro.testbed.workloads import udp_template
 from repro.units import to_us
 
@@ -38,7 +38,7 @@ def main() -> None:
     spans = SpanRecorder().arm(sim)
     profiler = SimProfiler().attach(sim)
 
-    bed = LegacySwitchTestbed(sim)
+    bed = legacy_testbed(sim)
     bed.teach_mac_table("02:00:00:00:00:02")
     bed.monitor.start_capture()
     bed.generator.load_template(udp_template(256), count=1)

@@ -1,5 +1,6 @@
 """Measurement analysis: latency extraction, statistics, reports."""
 
+from .fct import fct_report
 from .flowstats import FlowAccounting, FlowRecord, flows_from_capture, merge_captures
 from .latency import (
     LatencyResult,
@@ -27,6 +28,7 @@ __all__ = [
     "RateEstimator",
     "SummaryStats",
     "arrival_jitter_ps",
+    "fct_report",
     "flows_from_capture",
     "format_microseconds",
     "format_table",

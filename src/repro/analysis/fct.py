@@ -1,0 +1,60 @@
+"""Flow-completion-time analysis.
+
+Reduces a list of :class:`~repro.flows.FlowCompletion` records — the
+transport's per-flow outcomes — into the numbers loss-protection
+papers argue with: the FCT distribution, per-flow goodput, and the
+*effective* loss rate the transport experienced (retransmitted
+segments over segments sent, i.e. loss after any link-local recovery).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from .stats import SummaryStats
+
+
+def _summary_dict(summary: Optional[SummaryStats], scale: float) -> Dict[str, float]:
+    if summary is None:
+        return {"count": 0}
+    return {
+        "count": summary.count,
+        "mean": summary.mean * scale,
+        "min": summary.minimum * scale,
+        "max": summary.maximum * scale,
+        "p50": summary.p50 * scale,
+        "p90": summary.p90 * scale,
+        "p99": summary.p99 * scale,
+    }
+
+
+def fct_report(records: List[Any]) -> Dict[str, Any]:
+    """Summarise flow outcomes (see module docstring).
+
+    Accepts any objects with the :class:`~repro.flows.FlowCompletion`
+    fields. Incomplete flows (give-ups) are excluded from the FCT and
+    goodput distributions but included in the loss accounting — a flow
+    that died retransmitting is the strongest loss signal there is.
+    """
+    completed = [r for r in records if r.completed]
+    segments_sent = sum(r.segments_sent for r in records)
+    retransmits = sum(r.retransmits for r in records)
+    fct = SummaryStats.of([r.fct_ps for r in completed])
+    goodput = SummaryStats.of([r.goodput_bps for r in completed])
+    return {
+        "flows": len(records),
+        "flows_completed": len(completed),
+        "bytes_acked": sum(r.bytes_acked for r in records),
+        "segments_sent": segments_sent,
+        "retransmits": retransmits,
+        "fast_retransmits": sum(r.fast_retransmits for r in records),
+        "timeouts": sum(r.timeouts for r in records),
+        # Loss as the transport saw it: every retransmitted segment
+        # stands for a data segment (or its ACK) that never made it.
+        "effective_loss_rate": retransmits / segments_sent if segments_sent else 0.0,
+        "fct_us": _summary_dict(fct, 1e-6),
+        "goodput_gbps": _summary_dict(goodput, 1e-9),
+    }
+
+
+__all__ = ["fct_report"]

@@ -42,6 +42,9 @@ class SimpleHost:
         self.received: List[Packet] = []
         self.arp_replies = 0
         self.echo_replies = 0
+        #: Attached :class:`repro.flows.FlowEndpoint`, or None. TCP
+        #: frames are demultiplexed to it instead of ``received``.
+        self._transport = None
 
     def _on_frame(self, packet: Packet) -> None:
         decoded = decode(packet.data)
@@ -59,7 +62,36 @@ class SimpleHost:
                 self.reply_delay_ps, self._send_echo_reply, decoded, packet.data
             )
             return
+        if decoded.tcp is not None and self._transport is not None:
+            self._transport._on_frame(decoded)
+            return
         self.received.append(packet)
+
+    def attach_transport(self, transport) -> None:
+        """Claim the NIC for a closed-loop flow transport.
+
+        Registering bumps the simulator's closed-loop source count,
+        which makes the burst-datapath eligibility audit fall back to
+        the per-packet path (closed-loop traffic reacts to every
+        delivery; batched window advancement would reorder causality).
+        """
+        from ..errors import FlowError
+
+        if self._transport is not None:
+            raise FlowError(f"host {self.name!r} already has a transport attached")
+        self._transport = transport
+        self.sim._closed_loop_sources = (
+            getattr(self.sim, "_closed_loop_sources", 0) + 1
+        )
+
+    def detach_transport(self, transport) -> None:
+        """Release the NIC (exact transport object required)."""
+        from ..errors import FlowError
+
+        if self._transport is not transport:
+            raise FlowError(f"host {self.name!r}: that transport is not attached")
+        self._transport = None
+        self.sim._closed_loop_sources -= 1
 
     def _send_arp_reply(self, request) -> None:
         reply = ArpPacket(

@@ -79,3 +79,15 @@ class FaultError(ReproError):
 
 class SnmpError(ReproError):
     """An SNMP request named an unknown OID or used a bad operation."""
+
+
+class TopologyError(ReproError, ValueError):
+    """A declarative topology was malformed or could not be built.
+
+    Also a :class:`ValueError` for the same reason :class:`ConfigError`
+    is: topology documents are user input.
+    """
+
+
+class FlowError(ReproError):
+    """A flow transport was misconfigured or misused."""

@@ -112,9 +112,26 @@ class FaultModel:
 
 
 class _LinkModel(FaultModel):
-    """Base for models that hook a link's per-frame delivery path."""
+    """Base for models that hook a link's per-frame delivery path.
+
+    All link models accept an optional ``direction`` param:
+    ``"a_to_b"`` impairs only frames delivered toward the link's
+    ``port_b``, ``"b_to_a"`` the reverse, and the default (None) both
+    directions. Directional impairment is what closed-loop experiments
+    need — dropping a flow's data segments without touching its ACKs
+    keeps the loss accounting exact.
+    """
 
     default_target = "link"
+
+    def __init__(self, spec: FaultSpec, target, rng: random.Random, injector) -> None:
+        super().__init__(spec, target, rng, injector)
+        self.direction = spec.params.get("direction")
+        if self.direction not in (None, "a_to_b", "b_to_a"):
+            raise FaultError(
+                f"fault {spec.name!r}: direction must be 'a_to_b', "
+                f"'b_to_a' or omitted, got {self.direction!r}"
+            )
 
     def arm(self, sim) -> None:
         from ..hw.port import Link
@@ -130,6 +147,14 @@ class _LinkModel(FaultModel):
     def _on_frame(self, packet, destination) -> Optional[int]:
         if not self.active:
             return None
+        if self.direction is not None:
+            wanted = (
+                self.target.port_b
+                if self.direction == "a_to_b"
+                else self.target.port_a
+            )
+            if destination is not wanted:
+                return None
         return self.decide(packet, destination)
 
     def decide(self, packet, destination) -> Optional[int]:

@@ -29,7 +29,7 @@ from ..analysis.latency import latency_from_capture
 from ..devices.legacy_switch import LegacySwitch
 from ..osnt.api import OSNT
 from ..sim import RandomStreams, Simulator
-from ..testbed.topology import LegacySwitchTestbed
+from ..testbed.topology import legacy_testbed
 from ..testbed.workloads import udp_template
 from ..units import ms, seconds
 from .injector import FaultInjector
@@ -73,7 +73,7 @@ def lossy_link_latency_point(
     """
     sim = Simulator()
     switch = LegacySwitch(sim, rng=RandomStreams(switch_seed).stream("sw"))
-    bed = LegacySwitchTestbed(sim, switch=switch, root_seed=seed)
+    bed = legacy_testbed(sim, switch=switch, root_seed=seed)
     bed.teach_mac_table("02:00:00:00:00:02")
     spec = ImpairmentSpec.from_any(
         []

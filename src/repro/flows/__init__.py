@@ -1,0 +1,38 @@
+"""Closed-loop flows: TCP-ish transport + LinkGuardian loss protection.
+
+See :mod:`repro.flows.transport` for the transport model,
+:mod:`repro.flows.protection` for the corrupting-link / local-repair
+device model, and :mod:`repro.flows.scenarios` for the registered
+sweepable scenarios (``fct_vs_loss``, ``effective_loss_vs_speed``,
+``throughput_under_bursty_corruption``).
+"""
+
+from .protection import LinkGuardian
+from .scenarios import (
+    effective_loss_vs_speed_point,
+    fct_vs_loss_point,
+    throughput_under_bursty_corruption_point,
+)
+from .transport import (
+    Flow,
+    FlowCompletion,
+    FlowConfig,
+    FlowEndpoint,
+    FlowReceiver,
+    FlowSender,
+    completions_digest,
+)
+
+__all__ = [
+    "Flow",
+    "FlowCompletion",
+    "FlowConfig",
+    "FlowEndpoint",
+    "FlowReceiver",
+    "FlowSender",
+    "LinkGuardian",
+    "completions_digest",
+    "effective_loss_vs_speed_point",
+    "fct_vs_loss_point",
+    "throughput_under_bursty_corruption_point",
+]

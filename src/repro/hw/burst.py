@@ -195,6 +195,10 @@ class BurstLane:
         ok = (
             sim.spans is None
             and sim._tracer is None
+            # Closed-loop sources (repro.flows transports) react to
+            # every delivery; batched window advancement is unsafe
+            # anywhere in the same simulation.
+            and not getattr(sim, "_closed_loop_sources", 0)
             and type(source) is TemplateSource
             and not source.modifiers
             and (
@@ -287,6 +291,7 @@ class BurstLane:
         ok = (
             sim.spans is None
             and sim._tracer is None
+            and not getattr(sim, "_closed_loop_sources", 0)
             and not self.link._impairments
             and self.link.bit_error_rate == 0
             and not pipeline.enabled
@@ -309,9 +314,9 @@ class BurstLane:
         if not ok:
             raise SimulationError(
                 f"generator {engine.name!r}: observation point armed while a "
-                "burst-datapath lane is active (spans/tracer/capture/faults "
-                "must be configured before start, or run with "
-                "REPRO_DATAPATH=packet)"
+                "burst-datapath lane is active (spans/tracer/capture/faults/"
+                "flow transports must be configured before start, or run "
+                "with REPRO_DATAPATH=packet)"
             )
 
     def _fallback(self) -> None:

@@ -6,7 +6,7 @@ from typing import Optional
 
 from ..devices.openflow_switch import SwitchProfile
 from ..sim import Simulator
-from ..testbed.topology import OpenFlowTestbed
+from ..testbed.topology import openflow_testbed
 from ..units import us
 from .channels import ControlChannelHandle, DataChannelHandle, SnmpChannelHandle
 
@@ -31,7 +31,7 @@ class OflopsContext:
         **osnt_kwargs,
     ) -> None:
         self.sim = sim or Simulator()
-        self.testbed = OpenFlowTestbed(
+        self.testbed = openflow_testbed(
             self.sim,
             profile=profile,
             control_latency_ps=control_latency_ps,

@@ -373,3 +373,67 @@ def _flowmod_under_flap(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
         barrier_mode=params.get("barrier_mode", "spec"),
         seed=_seed(params, seed),
     )
+
+
+# -- closed-loop flow scenarios ----------------------------------------------
+
+
+@scenario("fct_vs_loss")
+def _fct_vs_loss(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """L1: flow completion times over a corrupting link, with or
+    without LinkGuardian-style link-local protection."""
+    from ..flows.scenarios import fct_vs_loss_point
+
+    return fct_vs_loss_point(
+        corrupt_rate=params.get("corrupt_rate", 1e-3),
+        protected=params.get("protected", False),
+        n_flows=params.get("n_flows", 64),
+        flow_bytes=params.get("flow_bytes", 60_000),
+        link_rate=params.get("link_rate", "10Gbps"),
+        burst=params.get("burst", 1.0),
+        spacing_ps=duration_ps(params.get("spacing", us(50))),
+        seed=_seed(params, seed),
+        switch_seed=params.get("switch_seed", 1),
+        direction=params.get("direction", "a_to_b"),
+        impairments=params.get("impairments"),
+        observe=params.get("observe", False),
+    )
+
+
+@scenario("effective_loss_vs_speed")
+def _effective_loss_vs_speed(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """L2: transport-visible loss rate at different link speeds."""
+    from ..flows.scenarios import effective_loss_vs_speed_point
+
+    return effective_loss_vs_speed_point(
+        link_rate=params.get("link_rate", "10Gbps"),
+        corrupt_rate=params.get("corrupt_rate", 1e-3),
+        protected=params.get("protected", True),
+        n_flows=params.get("n_flows", 16),
+        flow_bytes=params.get("flow_bytes", 30_000),
+        spacing_ps=duration_ps(params.get("spacing", us(50))),
+        seed=_seed(params, seed),
+        switch_seed=params.get("switch_seed", 1),
+        observe=params.get("observe", False),
+    )
+
+
+@scenario("throughput_under_bursty_corruption")
+def _throughput_under_bursty_corruption(
+    params: Dict[str, Any], seed: int
+) -> Dict[str, Any]:
+    """L3: aggregate goodput under geometric corruption bursts."""
+    from ..flows.scenarios import throughput_under_bursty_corruption_point
+
+    return throughput_under_bursty_corruption_point(
+        corrupt_rate=params.get("corrupt_rate", 5e-3),
+        burst=params.get("burst", 4.0),
+        protected=params.get("protected", True),
+        n_flows=params.get("n_flows", 8),
+        flow_bytes=params.get("flow_bytes", 120_000),
+        link_rate=params.get("link_rate", "10Gbps"),
+        spacing_ps=duration_ps(params.get("spacing", us(20))),
+        seed=_seed(params, seed),
+        switch_seed=params.get("switch_seed", 1),
+        observe=params.get("observe", False),
+    )

@@ -93,6 +93,12 @@ class Simulator:
         #: components read this directly (``spans = sim.spans``) so the
         #: disarmed datapath pays one attribute load + None check.
         self.spans: Optional[Any] = None
+        #: Number of attached closed-loop traffic sources (flow
+        #: transports — see :mod:`repro.flows`). The burst-datapath
+        #: eligibility audit reads this: closed-loop traffic reacts to
+        #: every delivery, so batched window advancement is unsafe while
+        #: any source is attached.
+        self._closed_loop_sources: int = 0
         #: Opt-in dispatch profiler (see :meth:`set_profiler`): when set,
         #: the run loop routes ``event.callback(*args)`` through
         #: ``profiler.dispatch(event)`` for wall-clock attribution.

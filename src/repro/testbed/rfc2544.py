@@ -21,7 +21,7 @@ from ..devices.legacy_switch import LegacySwitch
 from ..osnt.generator.field_modifiers import SequenceNumber
 from ..sim import RandomStreams, Simulator
 from ..units import ms
-from .topology import LegacySwitchTestbed
+from .topology import legacy_testbed
 from .workloads import udp_template
 
 #: Where the sequence number lives in the probe frames (clear of the
@@ -100,7 +100,7 @@ def _run_trial(
     # Generous DMA: the tester's own capture path must not lose packets,
     # or capture loss would be misattributed to the DUT. Cutting to 64
     # bytes keeps both the timestamp (42..49) and sequence (54..57).
-    bed = LegacySwitchTestbed(
+    bed = legacy_testbed(
         sim, switch=switch, dma_bandwidth_bps=40e9, dma_ring_slots=1 << 14
     )
     bed.teach_mac_table("02:00:00:00:00:02")

@@ -41,7 +41,7 @@ from ..units import (
     seconds,
     us,
 )
-from .topology import LegacySwitchTestbed, OpenFlowTestbed
+from .topology import legacy_testbed, openflow_testbed
 from .workloads import fixed_size_source, port_sweep_source, udp_template
 
 #: Extras returned by every point function (telemetry snapshots etc.).
@@ -341,7 +341,7 @@ def legacy_latency_point(
     switch = LegacySwitch(
         sim, rng=RandomStreams(switch_seed).stream("sw"), **(switch_kwargs or {})
     )
-    bed = LegacySwitchTestbed(sim, switch=switch, wire_cross_ports=True, root_seed=seed)
+    bed = legacy_testbed(sim, switch=switch, wire_cross_ports=True, root_seed=seed)
     bed.teach_mac_table("02:00:00:00:00:02")
     if telemetry:
         bed.tester.start_telemetry()
@@ -476,7 +476,7 @@ def measure_flowmod_latency(
         firmware_delay_ps=firmware_delay_ps,
         table_write_ps=table_write_ps,
     )
-    bed = OpenFlowTestbed(sim, profile=profile)
+    bed = openflow_testbed(sim, profile=profile)
     spec = ImpairmentSpec.from_any(impairments)
     faulted = not spec.empty
     if faulted:
@@ -612,7 +612,7 @@ def measure_forwarding_consistency(
         firmware_delay_ps=firmware_delay_ps,
         table_write_ps=table_write_ps,
     )
-    bed = OpenFlowTestbed(sim, profile=profile, wire_cross_ports=True)
+    bed = openflow_testbed(sim, profile=profile, wire_cross_ports=True)
     old_port, new_port = 2, 3
     barrier_times: Dict[int, int] = {}
     bed.controller.on_message = lambda m: (
@@ -801,7 +801,7 @@ def timestamp_placement_point(
     quantifying the "queueing noise" the MAC-side stamp eliminates."""
     sim = Simulator()
     switch = LegacySwitch(sim, rng=RandomStreams(switch_seed).stream("sw"))
-    bed = LegacySwitchTestbed(
+    bed = legacy_testbed(
         sim, switch=switch, dma_bandwidth_bps=dma_bandwidth_bps, root_seed=seed
     )
     bed.teach_mac_table("02:00:00:00:00:02")
@@ -992,7 +992,7 @@ def imix_latency_point(
     switch = LegacySwitch(
         sim, rng=RandomStreams(switch_seed).stream("sw"), **(switch_kwargs or {})
     )
-    bed = LegacySwitchTestbed(sim, switch=switch, root_seed=seed)
+    bed = legacy_testbed(sim, switch=switch, root_seed=seed)
     bed.teach_mac_table("02:00:00:00:00:02")
     bed.monitor.start_capture()
     packets = [udp_template(size) for size in IMIX_PATTERN]

@@ -4,20 +4,69 @@ Both demo parts use the same physical shape: one OSNT port transmits
 into the device under test, another OSNT port captures what comes out.
 Part II adds the OpenFlow control channel (OFLOPS-turbo host ↔ switch)
 and an SNMP channel.
+
+Both shapes are declared through :class:`repro.topology.Topology` and
+materialized by :func:`legacy_testbed` / :func:`openflow_testbed`.  The
+old ``LegacySwitchTestbed(sim, ...)`` / ``OpenFlowTestbed(sim, ...)``
+constructors still work but emit a :class:`DeprecationWarning`; new
+code should call the factories (or declare its own
+:class:`~repro.topology.Topology`).
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 from ..devices.legacy_switch import LegacySwitch
-from ..devices.openflow_switch import OpenFlowSwitch, SwitchProfile
-from ..devices.snmp_agent import SnmpAgent
-from ..hw.port import connect
-from ..openflow.connection import ControlChannel
-from ..osnt.api import OSNT, TrafficGenerator, TrafficMonitor
+from ..devices.openflow_switch import SwitchProfile
+from ..osnt.api import TrafficGenerator, TrafficMonitor
 from ..sim import Simulator
+from ..topology import Topology
 from ..units import us
+
+_DEPRECATION = (
+    "constructing {cls}(sim, ...) directly is deprecated; use "
+    "repro.testbed.{factory}(sim, ...) or declare a repro.topology.Topology"
+)
+
+
+def legacy_switch_topology(wire_cross_ports: bool = False) -> Topology:
+    """The Part-I shape as a declarative, serializable Topology."""
+    topo = (
+        Topology(name="legacy-switch-testbed")
+        .tester("osnt")
+        .node("sw", "legacy_switch")
+        .link("osnt:0", "sw:0")
+        .link("osnt:1", "sw:1")
+    )
+    if wire_cross_ports:
+        topo.link("osnt:2", "sw:2").link("osnt:3", "sw:3")
+    return topo
+
+
+def openflow_topology(
+    control_latency_ps: int = us(50),
+    num_switch_ports: int = 4,
+    wire_cross_ports: bool = False,
+) -> Topology:
+    """The Part-II shape as a declarative, serializable Topology."""
+    topo = (
+        Topology(name="openflow-testbed")
+        .node(
+            "ofsw",
+            "openflow_switch",
+            ports=num_switch_ports,
+            control_latency=control_latency_ps,
+        )
+        .tester("osnt")
+        .link("osnt:0", "ofsw:0")
+        .link("osnt:1", "ofsw:1")
+    )
+    if wire_cross_ports and num_switch_ports >= 4:
+        topo.link("osnt:2", "ofsw:2").link("osnt:3", "ofsw:3")
+    topo.snmp("snmp", switch="ofsw")
+    return topo
 
 
 class LegacySwitchTestbed:
@@ -26,6 +75,9 @@ class LegacySwitchTestbed:
     * OSNT port 0 → switch port 0 (traffic in)
     * switch port 1 → OSNT port 1 (traffic out, captured)
     * optionally OSNT ports 2/3 ↔ switch ports 2/3 for cross traffic
+
+    .. deprecated:: use :func:`legacy_testbed` (same arguments, same
+       attributes, no behaviour change).
     """
 
     def __init__(
@@ -35,18 +87,26 @@ class LegacySwitchTestbed:
         wire_cross_ports: bool = False,
         **osnt_kwargs,
     ) -> None:
+        warnings.warn(
+            _DEPRECATION.format(cls="LegacySwitchTestbed", factory="legacy_testbed"),
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._init(sim, switch, wire_cross_ports, osnt_kwargs)
+
+    def _init(self, sim, switch, wire_cross_ports, osnt_kwargs) -> None:
+        topo = legacy_switch_topology(wire_cross_ports)
+        if osnt_kwargs:
+            topo.nodes[0].params.update(osnt_kwargs)
+        devices = {"sw": switch} if switch is not None else None
+        built = topo.build(sim, devices=devices)
         self.sim = sim
-        self.tester = OSNT(sim, **osnt_kwargs)
-        self.switch = switch or LegacySwitch(sim)
+        self.topology = built
+        self.tester = built.node("osnt")
+        self.switch = built.node("sw")
         #: The wired cables, in wiring order — fault models attach here
         #: (``links[0]`` is the ingress OSNT→switch cable).
-        self.links = [
-            connect(self.tester.port(0), self.switch.port(0)),
-            connect(self.tester.port(1), self.switch.port(1)),
-        ]
-        if wire_cross_ports:
-            self.links.append(connect(self.tester.port(2), self.switch.port(2)))
-            self.links.append(connect(self.tester.port(3), self.switch.port(3)))
+        self.links = built.links
         self.generator: TrafficGenerator = self.tester.generator(0)
         self.monitor: TrafficMonitor = self.tester.monitor(1)
 
@@ -68,6 +128,9 @@ class OpenFlowTestbed:
 
     The controller endpoint is left unwired (``on_message`` unset): the
     OFLOPS-turbo context claims it when a measurement module starts.
+
+    .. deprecated:: use :func:`openflow_testbed` (same arguments, same
+       attributes, no behaviour change).
     """
 
     def __init__(
@@ -79,25 +142,39 @@ class OpenFlowTestbed:
         wire_cross_ports: bool = False,
         **osnt_kwargs,
     ) -> None:
-        self.sim = sim
-        self.channel = ControlChannel(sim, latency_ps=control_latency_ps)
-        self.switch = OpenFlowSwitch(
-            sim,
-            self.channel.switch,
-            num_ports=num_switch_ports,
-            profile=profile,
+        warnings.warn(
+            _DEPRECATION.format(cls="OpenFlowTestbed", factory="openflow_testbed"),
+            DeprecationWarning,
+            stacklevel=2,
         )
-        self.tester = OSNT(sim, **osnt_kwargs)
+        self._init(
+            sim, profile, control_latency_ps, num_switch_ports,
+            wire_cross_ports, osnt_kwargs,
+        )
+
+    def _init(
+        self, sim, profile, control_latency_ps, num_switch_ports,
+        wire_cross_ports, osnt_kwargs,
+    ) -> None:
+        topo = openflow_topology(
+            control_latency_ps=control_latency_ps,
+            num_switch_ports=num_switch_ports,
+            wire_cross_ports=wire_cross_ports,
+        )
+        if profile is not None:
+            topo.nodes[0].params["profile"] = profile
+        if osnt_kwargs:
+            topo.nodes[1].params.update(osnt_kwargs)
+        built = topo.build(sim)
+        self.sim = sim
+        self.topology = built
+        self.channel = built.control_channel("ofsw")
+        self.switch = built.node("ofsw")
+        self.tester = built.node("osnt")
         #: The wired cables, in wiring order — fault models attach here
         #: (``links[0]`` is the ingress OSNT→switch cable).
-        self.links = [
-            connect(self.tester.port(0), self.switch.port(0)),
-            connect(self.tester.port(1), self.switch.port(1)),
-        ]
-        if wire_cross_ports and num_switch_ports >= 4:
-            self.links.append(connect(self.tester.port(2), self.switch.port(2)))
-            self.links.append(connect(self.tester.port(3), self.switch.port(3)))
-        self.snmp = SnmpAgent(sim, self.switch.ports)
+        self.links = built.links
+        self.snmp = built.node("snmp")
         self.generator: TrafficGenerator = self.tester.generator(0)
         self.monitor: TrafficMonitor = self.tester.monitor(1)
         #: OF port numbers of the wired data path (1-based).
@@ -108,3 +185,32 @@ class OpenFlowTestbed:
     def controller(self):
         """The controller end of the OpenFlow control channel."""
         return self.channel.controller
+
+
+def legacy_testbed(
+    sim: Simulator,
+    switch: Optional[LegacySwitch] = None,
+    wire_cross_ports: bool = False,
+    **osnt_kwargs,
+) -> LegacySwitchTestbed:
+    """Build the Part-I testbed (no deprecation warning)."""
+    bed = object.__new__(LegacySwitchTestbed)
+    bed._init(sim, switch, wire_cross_ports, osnt_kwargs)
+    return bed
+
+
+def openflow_testbed(
+    sim: Simulator,
+    profile: Optional[SwitchProfile] = None,
+    control_latency_ps: int = us(50),
+    num_switch_ports: int = 4,
+    wire_cross_ports: bool = False,
+    **osnt_kwargs,
+) -> OpenFlowTestbed:
+    """Build the Part-II testbed (no deprecation warning)."""
+    bed = object.__new__(OpenFlowTestbed)
+    bed._init(
+        sim, profile, control_latency_ps, num_switch_ports,
+        wire_cross_ports, osnt_kwargs,
+    )
+    return bed

@@ -268,3 +268,114 @@ class TestLpmAgainstReference:
         for prefix, length in seen:
             assert fib.remove(ipv4_to_str(prefix), length)
         assert fib.size == 0
+
+
+class TestFlowTransportProperties:
+    """Closed-loop transport invariants (repro.flows) under randomized
+    flow mixes and directional link loss.
+
+    The loss is injected with ``direction="a_to_b"`` so ACKs are never
+    dropped — which makes the loss accounting *exact*: as long as no
+    RTO fires, every injected drop costs exactly one retransmitted
+    segment (fast retransmit repairs precisely the holes).
+    """
+
+    @staticmethod
+    def _run(seed, rate, sizes):
+        from repro.faults import FaultInjector
+        from repro.faults.spec import ImpairmentSpec
+        from repro.flows import FlowEndpoint
+        from repro.sim import Simulator
+        from repro.topology import Topology
+        from repro.units import us
+
+        sim = Simulator()
+        built = (
+            Topology(name="prop")
+            .host("h1", rate="10Gbps")
+            .host("h2", rate="10Gbps")
+            .node("s1", "legacy_switch", ports=2, rate="10Gbps", seed=1)
+            .link("h1", "s1:0", rate="10Gbps")
+            .link("s1:1", "h2", rate="10Gbps")
+            .build(sim)
+        )
+        if rate > 0.0:
+            injector = FaultInjector(
+                sim,
+                ImpairmentSpec.from_any(
+                    [
+                        {
+                            "name": "drop",
+                            "model": "link_loss",
+                            "params": {"rate": rate, "direction": "a_to_b"},
+                        }
+                    ]
+                ),
+                seed=seed,
+            )
+            injector.bind(link=built.link_between("s1", "h2")).arm()
+        src, dst = FlowEndpoint(built.node("h1")), FlowEndpoint(built.node("h2"))
+        flows = [
+            src.flow_to(dst, size_bytes=size, start_ps=i * us(40))
+            for i, size in enumerate(sizes)
+        ]
+        sim.run()
+        return built, src, flows
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        rate=st.floats(min_value=0.0, max_value=0.03),
+        sizes=st.lists(
+            st.integers(min_value=1, max_value=40_000), min_size=1, max_size=4
+        ),
+    )
+    def test_byte_conservation(self, seed, rate, sizes):
+        """Every payload byte the application asked for is delivered
+        in order exactly once, regardless of what the link dropped."""
+        built, src, flows = self._run(seed, rate, sizes)
+        for flow, size in zip(flows, sizes):
+            record = flow.record
+            assert record is not None and record.completed
+            assert record.bytes_acked == size
+            assert flow.receiver.delivered_bytes == size
+            # Wire-level conservation: sent payload covers the transfer
+            # plus retransmitted bytes, never less.
+            assert record.payload_bytes_sent >= size
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        rate=st.floats(min_value=0.0, max_value=0.03),
+        sizes=st.lists(
+            st.integers(min_value=1, max_value=40_000), min_size=1, max_size=4
+        ),
+    )
+    def test_completion_recorded_exactly_once(self, seed, rate, sizes):
+        built, src, flows = self._run(seed, rate, sizes)
+        assert len(src.completions) == len(flows)
+        assert len({r.flow_id for r in src.completions}) == len(flows)
+        by_id = {r.flow_id: r for r in src.completions}
+        for flow in flows:
+            assert by_id[flow.record.flow_id] is flow.record
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        rate=st.floats(min_value=0.001, max_value=0.03),
+        sizes=st.lists(
+            st.integers(min_value=5_000, max_value=40_000), min_size=1, max_size=4
+        ),
+    )
+    def test_retransmits_match_injected_losses(self, seed, rate, sizes):
+        """Data-direction drops are repaid one retransmission each —
+        exactly, unless an RTO forced go-back-N (which may resend
+        segments the receiver already had)."""
+        built, src, flows = self._run(seed, rate, sizes)
+        records = [f.record for f in flows]
+        drops = built.node("h2").port.rx.stats.drops_injected
+        retransmits = sum(r.retransmits for r in records)
+        if sum(r.timeouts for r in records) == 0:
+            assert retransmits == drops
+        else:
+            assert retransmits >= drops

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""CI smoke for the closed-loop flow layer's determinism contract.
+
+Runs the LinkGuardian comparison grid (`fct_vs_loss`, protected x
+corrupt_rate) with observability armed (`observe: true` — packet spans
+recording on every cell) and asserts:
+
+1. **worker invisibility** — the merged report is byte-identical at
+   workers=1 and workers=2;
+2. **resume invisibility** — a sweep killed after 2 shards and resumed
+   from its checkpoint merges byte-identically to an uninterrupted run;
+3. **the qualitative result survives** — at a 1e-3 corruption rate the
+   protected link's p99 FCT stays at the lossless baseline while the
+   unprotected link's p99 is at least 3x worse with >= 1 RTO.
+
+Exits non-zero with a diagnostic on any violated expectation.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.runner import ExperimentSpec, run_spec
+
+
+def fail(message: str) -> None:
+    print(f"ci_fct_smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def fct_spec() -> ExperimentSpec:
+    return ExperimentSpec.from_dict(
+        {
+            "name": "ci-fct-smoke",
+            "scenario": "fct_vs_loss",
+            # Seed pinned in params (not just at the spec level) so every
+            # cell runs the acceptance experiment's exact RNG streams.
+            "params": {"observe": True, "seed": 6},
+            "axes": {"protected": [False, True], "corrupt_rate": [0.0, 1e-3]},
+            "seed": 6,
+            "retries": 1,
+            "timeout_s": 120.0,
+        }
+    )
+
+
+def check_worker_invisibility() -> str:
+    serial = run_spec(fct_spec(), workers=1)
+    serial.require_ok()
+    parallel = run_spec(fct_spec(), workers=2)
+    parallel.require_ok()
+    if serial.merged_json() != parallel.merged_json():
+        fail("merged reports differ between workers=1 and workers=2")
+    print("ci_fct_smoke: workers=1 == workers=2 (byte-identical, obs armed)")
+    return serial.merged_json()
+
+
+def check_resume_invisibility(baseline: str, root: Path) -> None:
+    ckpt = str(root / "fct-ckpt")
+    partial = run_spec(fct_spec(), workers=1, checkpoint_dir=ckpt, max_shards=2)
+    if partial.complete:
+        fail("partial run unexpectedly completed all shards")
+    resumed = run_spec(fct_spec(), workers=2, checkpoint_dir=ckpt)
+    if not resumed.complete:
+        fail("resumed run did not complete")
+    if resumed.merged_json() != baseline:
+        fail("kill/resume changed the merged report")
+    print("ci_fct_smoke: kill-after-2-shards + resume is byte-identical")
+
+
+def check_qualitative_result(merged: str) -> None:
+    import json
+
+    rows = [shard["result"] for shard in json.loads(merged)["shards"]]
+    by_arm = {(row["protected"], row["corrupt_rate"]): row for row in rows}
+    base = by_arm[(False, 0.0)]
+    prot = by_arm[(True, 1e-3)]
+    raw = by_arm[(False, 1e-3)]
+    if prot["link"]["corrupted"] == 0:
+        fail("protected arm saw no corruption — the comparison is vacuous")
+    if prot["retransmits"] != 0:
+        fail(f"protection leaked {prot['retransmits']} retransmits to the transport")
+    if prot["fct_us"]["p99"] > base["fct_us"]["p99"] * 1.1:
+        fail(
+            f"protected p99 {prot['fct_us']['p99']:.0f}us strayed from "
+            f"baseline {base['fct_us']['p99']:.0f}us"
+        )
+    if raw["timeouts"] < 1:
+        fail("unprotected arm paid no RTO — tail collapse not reproduced")
+    ratio = raw["fct_us"]["p99"] / prot["fct_us"]["p99"]
+    if ratio < 3.0:
+        fail(f"unprotected p99 only {ratio:.1f}x protected (need >= 3x)")
+    print(
+        f"ci_fct_smoke: LinkGuardian result holds "
+        f"(unprotected p99 {ratio:.1f}x protected, {raw['timeouts']} RTOs)"
+    )
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="ci-fct-") as tmp:
+        baseline = check_worker_invisibility()
+        check_resume_invisibility(baseline, Path(tmp))
+        check_qualitative_result(baseline)
+    print("ci_fct_smoke: OK")
+
+
+if __name__ == "__main__":
+    main()
