@@ -1,0 +1,85 @@
+"""Traffic-model performance: burst trains must ride the burst lane.
+
+Not a paper experiment — the regression guard for the traffic pattern
+library's datapath eligibility. A :class:`BurstTrain` with constant
+intra-burst spacing publishes a closed-form ``train_profile``, so the
+burst datapath advances it in whole-window arithmetic just like the
+constant-rate E1 loop. If the eligibility audit ever stops recognizing
+the profile — a signature drift, an accidental per-frame fallback — the
+train's throughput collapses to per-packet speed and the budget below
+catches it in CI.
+"""
+
+import gc
+import os
+from time import perf_counter
+
+from conftest import emit
+
+from repro.hw import connect
+from repro.osnt import OSNT
+from repro.sim import Simulator
+from repro.testbed.workloads import udp_template
+from repro.units import ms
+
+#: A dense burst train (94% load) on the burst datapath must move at
+#: least half the simulated packets per wall-second that the plain
+#: constant-rate E1 loop does: the train adds one window boundary per
+#: burst, not per-frame work. Falling to per-packet speed is a ~10-100x
+#: collapse, so 2x headroom is noise-immune and still decisive.
+TRAIN_SLOWDOWN_BUDGET = 2.0
+
+
+def _run(configure, duration_ps=ms(1)):
+    """One 64B loopback run on the burst datapath; packets/wall-sec."""
+    previous = os.environ.get("REPRO_DATAPATH")
+    os.environ["REPRO_DATAPATH"] = "burst"
+    try:
+        sim = Simulator()
+        tester = OSNT(sim)
+        connect(tester.port(0), tester.port(1))
+        monitor = tester.monitor(1)
+        generator = tester.generator(0)
+        generator.load_template(udp_template(64))
+        configure(generator)
+        generator.for_duration(duration_ps)
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_DATAPATH", None)
+        else:
+            os.environ["REPRO_DATAPATH"] = previous
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        start = perf_counter()
+        generator.start()
+        sim.run()
+        elapsed = perf_counter() - start
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    sent = generator.stats.sent
+    assert sent > 10_000, f"run only sent {sent} frames"
+    assert monitor.rx_packets == sent
+    return sent / elapsed
+
+
+def test_perf_burst_train_stays_on_the_burst_lane():
+    """Enforce: burst-train throughput >= E1 line-rate throughput / 2."""
+    line_best = train_best = 0.0
+    for __ in range(3):
+        line_best = max(line_best, _run(lambda g: g.at_line_rate()))
+        # 256-frame trains 1 us apart: ~94% load, one closed-form
+        # window per 256 frames.
+        train_best = max(train_best, _run(lambda g: g.burst_train(256, "1us")))
+    ratio = line_best / train_best
+    emit(
+        f"64B burst datapath: line-rate {line_best:,.0f} pkt/s, "
+        f"burst-train {train_best:,.0f} pkt/s, slowdown {ratio:.2f}x "
+        f"(budget <= {TRAIN_SLOWDOWN_BUDGET}x)"
+    )
+    assert ratio <= TRAIN_SLOWDOWN_BUDGET, (
+        f"burst-train pacing fell off the burst lane: {ratio:.1f}x slower "
+        f"than the constant-rate loop (budget {TRAIN_SLOWDOWN_BUDGET}x)"
+    )

@@ -80,6 +80,10 @@ class SwitchProfile:
     miss_send_len: int = 128
     table_capacity: int = 4096
     buffer_bytes_per_port: int = 128 * 1024
+    #: Maximum packet-in jobs waiting on the management CPU; further
+    #: misses are dropped (counted), the way a real switch sheds a
+    #: packet-in storm. None = unbounded (legacy behaviour).
+    packet_in_queue_limit: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.barrier_mode not in ("spec", "eager"):
@@ -166,11 +170,15 @@ class OpenFlowSwitch:
         self._writes_idle = Signal(f"{name}.writes-idle")
         # Counters.
         self.packet_ins_sent = 0
+        self.packet_ins_dropped = 0
         self.flow_mods_handled = 0
         self.barriers_handled = 0
         self.datapath_hits = 0
         self.datapath_misses = 0
         self.egress_drops = 0
+        #: Deepest the firmware queue has ever been (incl. in-service).
+        self.firmware_queue_peak = 0
+        self._pending_packet_ins = 0
         # Datapath lookup memo: (in_port, frame bytes) -> (entry, rewritten
         # data, out_ports), or None for a remembered miss. Matching is a
         # pure function of the table's entries, so the memo is valid for
@@ -189,6 +197,9 @@ class OpenFlowSwitch:
 
     def _on_control_message(self, message: Message) -> None:
         self._firmware_queue.append(message)
+        depth = len(self._firmware_queue) + (1 if self._firmware_busy else 0)
+        if depth > self.firmware_queue_peak:
+            self.firmware_queue_peak = depth
         if not self._firmware_busy:
             self._firmware_next()
 
@@ -207,6 +218,7 @@ class OpenFlowSwitch:
             # Miss encapsulation happens on the same management CPU as
             # message handling — packet-in storms therefore delay
             # concurrent flow_mods (the OFLOPS interaction effect).
+            self._pending_packet_ins -= 1
             self._send_packet_in(message.packet, message.in_port)
         elif isinstance(message, Hello):
             pass
@@ -459,6 +471,11 @@ class OpenFlowSwitch:
 
     def _queue_packet_in(self, packet: Packet, in_port: int) -> None:
         """Hand the miss to the firmware queue for encapsulation."""
+        limit = self.profile.packet_in_queue_limit
+        if limit is not None and self._pending_packet_ins >= limit:
+            self.packet_ins_dropped += 1
+            return
+        self._pending_packet_ins += 1
         self._on_control_message(_PacketInJob(packet=packet, in_port=in_port))
 
     def _send_packet_in(self, packet: Packet, in_port: int) -> None:

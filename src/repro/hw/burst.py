@@ -226,6 +226,8 @@ class BurstLane:
                     isinstance(owner, CapturePipeline)
                     and getattr(bound, "__func__", None) is CapturePipeline._on_frame
                     and not owner.enabled
+                    # Per-flow RTT keying needs real packets to hash.
+                    and owner.flow_latency is None
                 ):
                     pipeline = owner
         if pipeline is None:
@@ -260,7 +262,7 @@ class BurstLane:
             else None
         )
         self.index = 0
-        self.next_wake = now
+        self.next_wake = now + self.schedule.initial_gap()
         self.occupancy = 0
         self.backlog: deque = deque()
         self.clear: Optional[int] = None
@@ -278,6 +280,24 @@ class BurstLane:
             if gap is not None and gap > 0 and gap >= self.slot and self.flen <= self.capacity
             else None
         )
+        # Exactly periodic burst trains get closed-form windows too: the
+        # schedule publishes (n, intra, period) and the lane checks that
+        # no frame can ever queue (every start-to-start spacing covers
+        # the wire slot) or tail-drop.
+        self.train = None
+        self.train_t0 = self.next_wake
+        if self.bulk_gap is None:
+            profile = self.schedule.train_profile(self.flen)
+            if profile is not None:
+                n, intra, period = profile
+                tail = period - (n - 1) * intra
+                if (
+                    n >= 1
+                    and intra >= self.slot
+                    and tail >= self.slot
+                    and self.flen <= self.capacity
+                ):
+                    self.train = (int(n), int(intra), int(period))
         engine.stats.started_at_ps = now
         tx._burst_lane = self
         return True
@@ -295,6 +315,7 @@ class BurstLane:
             and not self.link._impairments
             and self.link.bit_error_rate == 0
             and not pipeline.enabled
+            and pipeline.flow_latency is None
             and len(rx._sinks) == 1
             and getattr(rx._sinks[0], "__self__", None) is pipeline
         )
@@ -344,6 +365,8 @@ class BurstLane:
         if self.emitting:
             if self.bulk_gap is not None:
                 self._emit_bulk(limit)
+            elif self.train is not None:
+                self._emit_train(limit)
             else:
                 self._emit_serial(limit)
         work_limit = limit
@@ -459,6 +482,82 @@ class BurstLane:
             self.index += n
             self.next_wake = w = w + n * gap
         if n == remaining:
+            # Count or deadline reached: the next wake is the finishing one.
+            self._begin_finish(w)
+
+    # -- closed-form burst trains ------------------------------------------
+
+    def _train_count_before(self, t: int) -> int:
+        """Frames whose start time is strictly before ``t``."""
+        n, intra, period = self.train
+        dt = t - self.train_t0
+        if dt <= 0:
+            return 0
+        full, rem = divmod(dt - 1, period)
+        return full * n + min(n, rem // intra + 1)
+
+    def _train_start(self, i: int) -> int:
+        """Start time of frame ``i`` of the periodic train timeline."""
+        n, intra, period = self.train
+        full, pos = divmod(i, n)
+        return self.train_t0 + full * period + pos * intra
+
+    def _emit_train(self, limit) -> None:
+        """O(bursts) emission for exactly periodic, never-queueing trains."""
+        n, intra, period = self.train
+        i = self.index
+        w = self.next_wake
+        flen = self.flen
+        remaining = _INF
+        if self.max_count is not None:
+            remaining = self.max_count - i
+        if self.deadline is not None:
+            by_deadline = self._train_count_before(self.deadline) - i
+            if by_deadline < remaining:
+                remaining = by_deadline
+        in_window = (
+            _INF if limit == _INF else self._train_count_before(limit) - i
+        )
+        m = int(min(remaining, in_window))
+        if m > 0:
+            last = i + m - 1
+            s_first = self._train_start(i)
+            s_last = self._train_start(last)
+            gen_stats = self.engine.stats
+            gen_stats.sent += m
+            gen_stats.sent_bytes += m * flen
+            self.engine.tx_sizes.record_repeat(flen, m)
+            fifo = self.fifo
+            fifo.enqueued += m
+            if flen > fifo.peak_occupancy_bytes:
+                fifo.peak_occupancy_bytes = flen
+            txs = self.tx.stats
+            txs.packets += m
+            txs.bytes += m * flen
+            txs.wire_bytes += m * self.fwb
+            txs.busy_ps += m * self.slot
+            if txs.first_activity_ps is None:
+                txs.first_activity_ps = s_first
+            txs.last_activity_ps = s_last
+            self.clear = clear = s_last + self.slot
+            if clear > self.last_event_time:
+                self.last_event_time = clear
+            # One parked delivery run per (partial) burst: constant
+            # intra-burst stride, arbitrary inter-burst spacing.
+            dconst = self.dconst
+            t0 = self.train_t0
+            parked = self.parked
+            for burst in range(i // n, last // n + 1):
+                lo = max(i, burst * n)
+                hi = min(last, burst * n + n - 1)
+                d0 = t0 + burst * period + (lo - burst * n) * intra + dconst
+                parked.append((d0, hi - lo + 1, intra))
+            d_last = s_last + dconst
+            if d_last > self.last_event_time:
+                self.last_event_time = d_last
+            self.index = last + 1
+            self.next_wake = w = self._train_start(last + 1)
+        if m == remaining:
             # Count or deadline reached: the next wake is the finishing one.
             self._begin_finish(w)
 
@@ -596,6 +695,8 @@ class BurstLane:
             # per-packet event order; include them, then cut the stream.
             if self.bulk_gap is not None:
                 self._emit_bulk(now + 1)
+            elif self.train is not None:
+                self._emit_train(now + 1)
             else:
                 self._emit_serial(now + 1)
         self.pending_finish_at = None

@@ -110,15 +110,77 @@ class TrafficGenerator:
 
     def poisson(self, mean_gap: Union[str, float]) -> "TrafficGenerator":
         """Poisson arrivals with the given mean gap (ps or ``"2us"``)."""
-        rng = self.device.streams.stream(f"gen{self.port_index}.poisson")
+        stream = self.device.streams.stream(f"gen{self.port_index}.poisson")
         mean_gap_ps = (
             duration_ps(mean_gap) if isinstance(mean_gap, str) else float(mean_gap)
         )
-        self._schedule = PoissonGaps(mean_gap_ps, rng, self._engine.port.rate_bps)
+        self._schedule = PoissonGaps(
+            mean_gap_ps, line_rate_bps=self._engine.port.rate_bps, stream=stream
+        )
         return self
 
     def bursts(self, burst_len: int, idle_gap_ps: int) -> "TrafficGenerator":
         self._schedule = Bursts(burst_len, idle_gap_ps, self._engine.port.rate_bps)
+        return self
+
+    def burst_train(
+        self,
+        frames_per_burst: int,
+        inter_burst_gap: Union[str, int],
+        peak: Union[str, float, None] = None,
+        ramp_bursts: int = 0,
+    ) -> "TrafficGenerator":
+        """P4TG-style burst trains: N frames at peak rate, exact gaps."""
+        from .generator.trafficmodels import BurstTrain
+
+        line = self._engine.port.rate_bps
+        self._schedule = BurstTrain(
+            frames_per_burst,
+            duration_ps(inter_burst_gap),
+            peak_bps=line if peak is None else rate_bps(peak),
+            line_rate_bps=line,
+            ramp_bursts=ramp_bursts,
+        )
+        return self
+
+    def periodic(
+        self,
+        on: Union[str, int],
+        off: Union[str, int],
+        peak: Union[str, float, None] = None,
+        phase: Union[str, int] = 0,
+    ) -> "TrafficGenerator":
+        """Deterministic on/off square wave with a phase offset."""
+        from .generator.trafficmodels import Periodic
+
+        line = self._engine.port.rate_bps
+        self._schedule = Periodic(
+            duration_ps(on),
+            duration_ps(off),
+            peak_bps=line if peak is None else rate_bps(peak),
+            line_rate_bps=line,
+            phase_ps=duration_ps(phase),
+        )
+        return self
+
+    def use_model(self, traffic) -> "TrafficGenerator":
+        """Pace with a declarative traffic model.
+
+        ``traffic`` is anything :func:`~repro.osnt.generator.trafficspec
+        .build_traffic` accepts: a :class:`TrafficModelSpec`, a spec
+        dict/JSON string, a bare model kind name, or an already-built
+        :class:`Schedule`.  Stochastic models draw from this port's
+        device-derived stream, so timelines are pinned by the device
+        seed.
+        """
+        from .generator.trafficspec import build_traffic
+
+        self._schedule = build_traffic(
+            traffic,
+            line_rate_bps=self._engine.port.rate_bps,
+            streams=self.device.streams,
+            name=f"gen{self.port_index}",
+        )
         return self
 
     def for_duration(self, duration: Union[str, int]) -> "TrafficGenerator":
@@ -385,11 +447,27 @@ class TrafficMonitor:
 
     # -- telemetry ------------------------------------------------------------
 
-    def enable_latency(self, offset: Optional[int] = None) -> "TrafficMonitor":
-        """Arm the in-band latency histogram (TX stamp at ``offset``)."""
+    def enable_latency(
+        self,
+        offset: Optional[int] = None,
+        per_flow: bool = False,
+        flow_key: str = "dst_port",
+        max_flows: int = 4096,
+    ) -> "TrafficMonitor":
+        """Arm the in-band latency histogram (TX stamp at ``offset``).
+
+        With ``per_flow=True`` the pipeline additionally banks every
+        sample per flow (keyed by ``flow_key``), P4TG-style — read the
+        result from :attr:`flow_latency` or :meth:`flow_latency_rows`.
+        """
         from .generator.tx_timestamp import DEFAULT_OFFSET
 
-        self._pipeline.enable_latency(DEFAULT_OFFSET if offset is None else offset)
+        self._pipeline.enable_latency(
+            DEFAULT_OFFSET if offset is None else offset,
+            per_flow=per_flow,
+            flow_key=flow_key,
+            max_flows=max_flows,
+        )
         return self
 
     @property
@@ -400,6 +478,16 @@ class TrafficMonitor:
     def latency_summary(self):
         """Percentile summary of the in-band latency histogram."""
         return self._pipeline.latency.summary()
+
+    @property
+    def flow_latency(self):
+        """The per-flow latency bank (None unless armed ``per_flow``)."""
+        return self._pipeline.flow_latency
+
+    def flow_latency_rows(self):
+        """Deterministic per-flow percentile rows (incl. ``p999``)."""
+        bank = self._pipeline.flow_latency
+        return [] if bank is None else bank.summary_rows()
 
 
 class OSNT:

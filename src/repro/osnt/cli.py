@@ -38,6 +38,12 @@ def gen_main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--frame-size", type=int, default=64, help="wire bytes incl. FCS")
     parser.add_argument("--rate", default="10Gbps", help='target rate, e.g. "5Gbps"')
+    parser.add_argument(
+        "--traffic-model", metavar="SPEC",
+        help="pace with a declarative traffic model: a spec JSON string "
+        '(\'{"model": "burst_train", ...}\'), a JSON file path, or a bare '
+        "model kind; overrides --rate",
+    )
     parser.add_argument("--count", type=int, default=None, help="packets to send")
     parser.add_argument(
         "--duration-ms", type=float, default=None, help="run length in simulated ms"
@@ -63,8 +69,17 @@ def gen_main(argv: Optional[List[str]] = None) -> int:
         generator.load_pcap(args.replay, loop=args.loop)
     else:
         generator.load_template(build_udp(frame_size=args.frame_size), count=args.count)
-        rate_bps = parse_rate(args.rate)
-        generator.set_rate(rate_bps)
+        if args.traffic_model:
+            import os
+
+            model = args.traffic_model
+            if os.path.exists(model) and not model.lstrip().startswith("{"):
+                with open(model) as handle:
+                    model = handle.read()
+            generator.use_model(model)
+        else:
+            rate_bps = parse_rate(args.rate)
+            generator.set_rate(rate_bps)
     if args.timestamp:
         generator.embed_timestamps()
     if args.duration_ms is not None:

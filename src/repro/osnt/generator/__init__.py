@@ -22,7 +22,19 @@ from .schedule import (
     rate_for_load,
 )
 from .source import PacketListSource, PacketSource, PcapReplaySource, TemplateSource
-from .trafficmodels import MarkovOnOff
+from .trafficmodels import (
+    BurstTrain,
+    Composite,
+    CompositeStage,
+    MarkovOnOff,
+    Periodic,
+)
+from .trafficspec import (
+    TRAFFIC_MODELS,
+    TrafficModelSpec,
+    build_traffic,
+    traffic_model,
+)
 from .tx_timestamp import (
     DEFAULT_OFFSET,
     STAMP_BYTES,
@@ -33,8 +45,11 @@ from .tx_timestamp import (
 )
 
 __all__ = [
+    "BurstTrain",
     "Bursts",
+    "Composite",
     "CompositeSource",
+    "CompositeStage",
     "INTERNET_MIX",
     "ConstantBitRate",
     "ConstantGap",
@@ -45,6 +60,9 @@ __all__ = [
     "Ipv4AddressSweep",
     "LineRate",
     "MarkovOnOff",
+    "Periodic",
+    "TRAFFIC_MODELS",
+    "TrafficModelSpec",
     "PacketListSource",
     "PacketSource",
     "PcapReplaySource",
@@ -58,10 +76,12 @@ __all__ = [
     "TxTimestamper",
     "UdpPortSweep",
     "VlanIdRewrite",
+    "build_traffic",
     "embed_raw",
     "extract_ps",
     "extract_raw",
     "fix_ipv4_checksum",
     "rate_for_load",
+    "traffic_model",
     "zero_l4_checksum",
 ]

@@ -151,6 +151,12 @@ class PortGenerator:
             if self.limit_duration_ps is not None
             else None
         )
+        # Phase-offset schedules idle before their first frame; the
+        # duration budget is anchored at start(), before the offset, so
+        # staggered multi-port runs still end together.
+        gap0 = self.schedule.initial_gap()
+        if gap0 > 0:
+            yield gap0
         index = 0
         while True:
             if self.limit_count is not None and index >= self.limit_count:

@@ -10,10 +10,43 @@ what experiment E2 compares against a software generator.
 from __future__ import annotations
 
 import random
-from typing import Iterator, Optional, Sequence
+import warnings
+from typing import Iterator, Optional, Sequence, Tuple
 
 from ...errors import ConfigError
 from ...units import TEN_GBPS, frame_wire_bytes, wire_time_ps
+
+
+def _resolve_rng(
+    rng: Optional[random.Random],
+    stream: Optional[random.Random],
+    seed: Optional[int],
+    name: str,
+) -> random.Random:
+    """One RNG-resolution policy for every stochastic schedule.
+
+    Priority: an explicit ``stream`` (an already-derived
+    :meth:`repro.sim.RandomStreams.stream`), then the deprecated
+    ``rng=`` kwarg, then ``seed=`` (derives the per-model stream
+    ``traffic/<name>``), then the legacy default ``Random(0)`` — kept
+    so historical constructor calls stay bit-compatible.
+    """
+    if stream is not None:
+        return stream
+    if rng is not None:
+        warnings.warn(
+            "the rng= kwarg is deprecated; pass stream= (a repro.sim "
+            "RandomStreams-derived stream), seed=, or build the model "
+            "through TrafficModelSpec",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return rng
+    if seed is not None:
+        from ...sim import RandomStreams
+
+        return RandomStreams(seed).stream(f"traffic/{name}")
+    return random.Random(0)
 
 
 class Schedule:
@@ -26,6 +59,26 @@ class Schedule:
     def reset(self) -> None:
         """Return to the initial state (for replay loops)."""
 
+    def initial_gap(self) -> int:
+        """Idle picoseconds before the *first* frame (phase offsets)."""
+        return 0
+
+    def train_profile(self, frame_len: int) -> Optional[Tuple[int, int, int]]:
+        """``(frames_per_train, intra_gap_ps, train_period_ps)`` or None.
+
+        A non-None profile asserts the whole timeline is exactly
+        periodic trains: frame ``i`` starts ``initial_gap`` plus
+        ``(i // n) * period + (i % n) * intra`` after the run start.
+        The burst datapath uses this for closed-form window advancement;
+        schedules that cannot guarantee it (stochastic, ramped,
+        composite) return None and are advanced per-frame.
+        """
+        return None
+
+    def expected_gap_ps(self, frame_len: int) -> Optional[float]:
+        """Long-run mean start-to-start gap, or None if unknown."""
+        return None
+
 
 class LineRate(Schedule):
     """Back-to-back: next frame starts the moment the wire allows."""
@@ -35,6 +88,9 @@ class LineRate(Schedule):
 
     def gap_after(self, frame_len: int) -> int:
         return wire_time_ps(frame_wire_bytes(frame_len), self.rate_bps)
+
+    def expected_gap_ps(self, frame_len: int) -> Optional[float]:
+        return float(self.gap_after(frame_len))
 
 
 class ConstantBitRate(Schedule):
@@ -64,6 +120,9 @@ class ConstantBitRate(Schedule):
     def reset(self) -> None:
         self._residue = 0.0
 
+    def expected_gap_ps(self, frame_len: int) -> Optional[float]:
+        return frame_wire_bytes(frame_len) * 8 * 1e12 / self.target_bps
+
 
 class ConstantGap(Schedule):
     """A fixed start-to-start gap, floored at the frame's wire time."""
@@ -77,6 +136,9 @@ class ConstantGap(Schedule):
     def gap_after(self, frame_len: int) -> int:
         floor = wire_time_ps(frame_wire_bytes(frame_len), self.line_rate_bps)
         return max(self.gap_ps, floor)
+
+    def expected_gap_ps(self, frame_len: int) -> Optional[float]:
+        return float(self.gap_after(frame_len))
 
 
 class PoissonGaps(Schedule):
@@ -95,13 +157,16 @@ class PoissonGaps(Schedule):
         rng: Optional[random.Random] = None,
         line_rate_bps: float = TEN_GBPS,
         clamp_to_wire: bool = False,
+        *,
+        stream: Optional[random.Random] = None,
+        seed: Optional[int] = None,
     ) -> None:
         if mean_gap_ps <= 0:
             raise ConfigError(f"mean gap must be positive, got {mean_gap_ps}")
         self.mean_gap_ps = mean_gap_ps
         self.line_rate_bps = line_rate_bps
         self.clamp_to_wire = clamp_to_wire
-        self._rng = rng or random.Random(0)
+        self._rng = _resolve_rng(rng, stream, seed, "poisson")
 
     def gap_after(self, frame_len: int) -> int:
         gap = round(self._rng.expovariate(1.0 / self.mean_gap_ps))
@@ -109,6 +174,9 @@ class PoissonGaps(Schedule):
             floor = wire_time_ps(frame_wire_bytes(frame_len), self.line_rate_bps)
             return max(gap, floor)
         return gap
+
+    def expected_gap_ps(self, frame_len: int) -> Optional[float]:
+        return float(self.mean_gap_ps)
 
 
 class Bursts(Schedule):
@@ -138,6 +206,14 @@ class Bursts(Schedule):
 
     def reset(self) -> None:
         self._position = 0
+
+    def train_profile(self, frame_len: int) -> Optional[Tuple[int, int, int]]:
+        wire = wire_time_ps(frame_wire_bytes(frame_len), self.line_rate_bps)
+        return (self.burst_len, wire, self.burst_len * wire + self.idle_gap_ps)
+
+    def expected_gap_ps(self, frame_len: int) -> Optional[float]:
+        wire = wire_time_ps(frame_wire_bytes(frame_len), self.line_rate_bps)
+        return wire + self.idle_gap_ps / self.burst_len
 
 
 class ExplicitGaps(Schedule):

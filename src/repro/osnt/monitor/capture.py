@@ -15,13 +15,14 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional
 
+from ...errors import CaptureError
 from ...hw.dma import DmaEngine
 from ...hw.port import EthernetPort
 from ...hw.timestamp import TimestampUnit, raw_to_ps
 from ...net.packet import Packet
 from ...net.pcap import PcapRecord, PcapWriter
 from ...sim import Simulator
-from ...telemetry import LogLinearHistogram
+from ...telemetry import HistogramBank, LogLinearHistogram
 from .filters import FilterBank
 from .reducers import HashUnit, PacketCutter, Thinner
 
@@ -29,6 +30,32 @@ from .reducers import HashUnit, PacketCutter, Thinner
 #: where the extractor looked), mirroring a hardware range check.
 LATENCY_SANITY_PS = 10**13  # 10 seconds
 _STAMP_BYTES = 8
+
+#: Flow-key extractors for per-flow latency banks: packet bytes → str.
+#: String keys survive a JSON round-trip unchanged, so shard merges are
+#: bit-identical to single-process runs.
+FLOW_KEYS = ("dst_port", "src_ip", "five_tuple")
+
+
+def _flow_key_fn(flow_key: str):
+    from ...net.flows import extract_five_tuple
+
+    if flow_key not in FLOW_KEYS:
+        raise CaptureError(
+            f"unknown flow key {flow_key!r}; choose from {FLOW_KEYS}"
+        )
+
+    def key_of(data: bytes) -> str:
+        five = extract_five_tuple(data)
+        if five is None:
+            return "non-ip"
+        if flow_key == "dst_port":
+            return str(five.dst_port)
+        if flow_key == "src_ip":
+            return five.src_ip
+        return str(five)
+
+    return key_of
 
 
 class MonitorStats:
@@ -126,6 +153,10 @@ class CapturePipeline:
         self.latency = LogLinearHistogram(unit="ps")
         self.latency_skipped = 0
         self._latency_offset: Optional[int] = None
+        #: Per-flow latency bank (P4TG's histogram extension): armed by
+        #: ``enable_latency(per_flow=True)``, keyed from packet bytes.
+        self.flow_latency: Optional[HistogramBank] = None
+        self._flow_key_of = None
         port.add_rx_sink(self._on_frame)
         # A multi-port card shares one DMA engine; the device then owns
         # the host-side demux. Standalone pipelines claim it themselves.
@@ -138,18 +169,37 @@ class CapturePipeline:
     def disable(self) -> None:
         self.enabled = False
 
-    def enable_latency(self, offset: int = 42) -> None:
+    def enable_latency(
+        self,
+        offset: int = 42,
+        per_flow: bool = False,
+        flow_key: str = "dst_port",
+        max_flows: int = 4096,
+    ) -> None:
         """Arm in-band latency aggregation.
 
         ``offset`` is the byte position of the generator's embedded
         64-bit TX stamp (see :mod:`repro.osnt.generator.tx_timestamp`).
         Like the stats module, the histogram runs even when host capture
         is disabled — aggregation happens before the filter bank.
+
+        ``per_flow=True`` additionally banks every sample into a
+        per-flow histogram keyed by ``flow_key`` (``"dst_port"``,
+        ``"src_ip"`` or ``"five_tuple"``), so the monitor answers
+        "p99.9 RTT of flow X under burst load" without host capture.
         """
         self._latency_offset = offset
+        if per_flow:
+            self._flow_key_of = _flow_key_fn(flow_key)
+            self.flow_latency = HistogramBank(unit="ps", max_keys=max_flows)
+        else:
+            self._flow_key_of = None
+            self.flow_latency = None
 
     def disable_latency(self) -> None:
         self._latency_offset = None
+        self._flow_key_of = None
+        self.flow_latency = None
 
     def register_metrics(self, registry, prefix: str) -> None:
         """Publish this pipeline's counters, stages and latency histogram."""
@@ -182,6 +232,8 @@ class CapturePipeline:
                 delta = packet.rx_timestamp - tx_ps
                 if 0 <= delta <= LATENCY_SANITY_PS:
                     self.latency.record(delta)
+                    if self.flow_latency is not None:
+                        self.flow_latency.record(self._flow_key_of(data), delta)
                 else:
                     self.latency_skipped += 1
             else:

@@ -49,6 +49,29 @@ _EXAMPLE_FAULTS_SPEC = {
     "retries": 1,
 }
 
+_EXAMPLE_TRAFFIC_SPEC = {
+    "name": "incast-vs-burstiness",
+    "scenario": "incast_burst",
+    "params": {"senders": 3, "frame_size": 512, "duration": "2ms"},
+    "axes": {
+        "traffic": [
+            {"model": "cbr", "params": {"rate": "3Gbps"}},
+            {
+                "model": "burst_train",
+                "params": {"frames_per_burst": 32, "inter_burst_gap": "40us"},
+            },
+            {
+                "model": "burst_train",
+                "params": {"frames_per_burst": 128, "inter_burst_gap": "160us"},
+            },
+        ]
+    },
+    "repeats": 1,
+    "seed": 0,
+    "timeout_s": 120.0,
+    "retries": 1,
+}
+
 
 def _load_spec(path: str) -> ExperimentSpec:
     if path == "-":
@@ -152,7 +175,13 @@ def _cmd_scenarios(args) -> int:
 
 
 def _cmd_example(args) -> int:
-    print(json.dumps(_EXAMPLE_FAULTS_SPEC if args.faults else _EXAMPLE_SPEC, indent=2))
+    if args.faults:
+        example = _EXAMPLE_FAULTS_SPEC
+    elif args.traffic:
+        example = _EXAMPLE_TRAFFIC_SPEC
+    else:
+        example = _EXAMPLE_SPEC
+    print(json.dumps(example, indent=2))
     return 0
 
 
@@ -265,6 +294,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     example_p.add_argument(
         "--faults", action="store_true",
         help="print a fault-injection sweep spec instead",
+    )
+    example_p.add_argument(
+        "--traffic", action="store_true",
+        help="print a traffic-model sweep spec instead",
     )
     example_p.set_defaults(func=_cmd_example)
 

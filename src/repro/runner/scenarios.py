@@ -317,6 +317,60 @@ def _oflops(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     return result
 
 
+# -- attack-workload scenarios -----------------------------------------------
+
+
+@scenario("syn_flood_flowmod")
+def _syn_flood_flowmod(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """A1: flow_mod latency under many-flow SYN churn."""
+    from ..testbed.attacks import syn_flood_flowmod_point
+
+    deadline = params.get("deadline")
+    limit = params.get("packet_in_queue_limit", 64)
+    row, extras = syn_flood_flowmod_point(
+        n_flows=params.get("n_flows", 256),
+        n_rules=params.get("n_rules", 16),
+        traffic=params.get("traffic"),
+        frame_size=params.get("frame_size", 64),
+        duration_ps=duration_ps(params.get("duration", ms(4))),
+        probe_gap_ps=duration_ps(params.get("probe_gap", us(4))),
+        base_port=params.get("base_port", 6000),
+        packet_in_queue_limit=limit,
+        firmware_delay_ps=duration_ps(params.get("firmware_delay", us(10))),
+        table_write_ps=duration_ps(params.get("table_write", us(100))),
+        warmup_ps=duration_ps(params.get("warmup", us(500))),
+        impairments=params.get("impairments"),
+        seed=_seed(params, seed),
+        deadline_ps=None if deadline is None else duration_ps(deadline),
+        observe=bool(params.get("observe", False)),
+        telemetry=bool(params.get("telemetry", False)),
+    )
+    return _rowdict(row, extras)
+
+
+@scenario("incast_burst")
+def _incast_burst(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """A2: k synchronized burst trains converging on one egress."""
+    from ..testbed.attacks import incast_burst_point
+
+    row, extras = incast_burst_point(
+        senders=params.get("senders", 3),
+        traffic=params.get("traffic"),
+        frame_size=params.get("frame_size", 512),
+        duration_ps=duration_ps(params.get("duration", ms(2))),
+        buffer_bytes=params.get("buffer_bytes", 32 * 1024),
+        phase_step_ps=duration_ps(params.get("phase_step", 0)),
+        switch_kwargs=params.get("switch_kwargs"),
+        seed=_seed(params, seed),
+        switch_seed=params.get("switch_seed", 1),
+        observe=bool(params.get("observe", False)),
+        telemetry=bool(params.get("telemetry", False)),
+    )
+    out = _rowdict(row, extras)
+    out["delivery_fraction"] = row.delivery_fraction
+    return out
+
+
 # -- fault-injection scenarios -----------------------------------------------
 
 

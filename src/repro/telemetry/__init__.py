@@ -31,7 +31,12 @@ from .export import (
     write_snapshot_csv,
     write_snapshot_json,
 )
-from .histogram import DEFAULT_SUBBUCKET_BITS, HistogramSummary, LogLinearHistogram
+from .histogram import (
+    DEFAULT_SUBBUCKET_BITS,
+    HistogramBank,
+    HistogramSummary,
+    LogLinearHistogram,
+)
 from .metrics import Counter, Gauge, MetricsRegistry
 from .openmetrics import (
     metric_name,
@@ -46,6 +51,7 @@ __all__ = [
     "DEFAULT_CAPACITY",
     "DEFAULT_SUBBUCKET_BITS",
     "Gauge",
+    "HistogramBank",
     "HistogramSummary",
     "LogLinearHistogram",
     "MetricsRegistry",

@@ -271,3 +271,126 @@ class LogLinearHistogram:
             f"LogLinearHistogram(count={self.count}, min={self.minimum}, "
             f"max={self.maximum}, buckets={len(self._counts)})"
         )
+
+
+class HistogramBank:
+    """A keyed family of log-linear histograms (per-flow RTT, P4TG-style).
+
+    One bounded dict of histograms, one O(1) increment per sample.  The
+    key is whatever the caller hashes a packet down to (a destination
+    port, a source IP, a five-tuple string).  Once ``max_keys`` distinct
+    keys exist, further new keys fold into a shared ``"(overflow)"``
+    histogram — counts are never silently dropped, only coarsened, the
+    way a hardware register file would saturate.
+    """
+
+    OVERFLOW_KEY = "(overflow)"
+
+    def __init__(
+        self,
+        subbucket_bits: int = DEFAULT_SUBBUCKET_BITS,
+        unit: str = "",
+        max_keys: int = 4096,
+    ) -> None:
+        if max_keys < 1:
+            raise ConfigError(f"max_keys must be >= 1, got {max_keys}")
+        self.subbucket_bits = subbucket_bits
+        self.unit = unit
+        self.max_keys = max_keys
+        self._histograms: Dict[object, LogLinearHistogram] = {}
+        self.overflowed = 0  # samples routed to the overflow histogram
+
+    def _histogram_for(self, key: object) -> LogLinearHistogram:
+        histograms = self._histograms
+        histogram = histograms.get(key)
+        if histogram is None:
+            if len(histograms) >= self.max_keys and key != self.OVERFLOW_KEY:
+                self.overflowed += 1
+                return self._histogram_for(self.OVERFLOW_KEY)
+            histogram = LogLinearHistogram(self.subbucket_bits, unit=self.unit)
+            histograms[key] = histogram
+        return histogram
+
+    def record(self, key: object, value: int) -> None:
+        self._histogram_for(key).record(value)
+
+    def record_repeat(self, key: object, value: int, repeat: int) -> None:
+        self._histogram_for(key).record_repeat(value, repeat)
+
+    def get(self, key: object) -> Optional[LogLinearHistogram]:
+        return self._histograms.get(key)
+
+    def keys(self) -> List[object]:
+        return sorted(self._histograms, key=str)
+
+    def __len__(self) -> int:
+        return len(self._histograms)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._histograms
+
+    def items(self) -> List[Tuple[object, LogLinearHistogram]]:
+        """Histograms in deterministic (stringified-key) order."""
+        return [(key, self._histograms[key]) for key in self.keys()]
+
+    def aggregate(self) -> LogLinearHistogram:
+        """Merge every keyed histogram into one (lossless)."""
+        merged = LogLinearHistogram(self.subbucket_bits, unit=self.unit)
+        for _, histogram in self.items():
+            merged.merge(histogram)
+        return merged
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        """One percentile row per key, deterministically ordered."""
+        rows = []
+        for key, histogram in self.items():
+            row: Dict[str, object] = {"key": key}
+            row.update(histogram.summary().as_dict())
+            rows.append(row)
+        return rows
+
+    def merge(self, other: "HistogramBank") -> "HistogramBank":
+        """Fold ``other``'s keyed histograms into this bank (lossless)."""
+        if other.subbucket_bits != self.subbucket_bits:
+            raise ConfigError(
+                "cannot merge banks with different subbucket_bits "
+                f"({self.subbucket_bits} vs {other.subbucket_bits})"
+            )
+        for key, histogram in other.items():
+            mine = self._histograms.get(key)
+            if mine is None:
+                mine = self._histogram_for(key)
+            mine.merge(histogram)
+        self.overflowed += other.overflowed
+        return self
+
+    def to_dict(self) -> Dict[str, object]:
+        """Full-fidelity serialization (string keys; see ``from_dict``)."""
+        return {
+            "subbucket_bits": self.subbucket_bits,
+            "unit": self.unit,
+            "max_keys": self.max_keys,
+            "overflowed": self.overflowed,
+            "histograms": {
+                str(key): histogram.to_dict() for key, histogram in self.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "HistogramBank":
+        bank = cls(
+            subbucket_bits=int(payload["subbucket_bits"]),
+            unit=str(payload.get("unit", "")),
+            max_keys=int(payload.get("max_keys", 4096)),
+        )
+        bank.overflowed = int(payload.get("overflowed", 0))
+        for key, entry in payload["histograms"].items():
+            bank._histograms[key] = LogLinearHistogram.from_dict(entry)
+        return bank
+
+    def clear(self) -> None:
+        self._histograms.clear()
+        self.overflowed = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HistogramBank(keys={len(self._histograms)}, unit={self.unit!r})"

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""CI smoke for the traffic-model layer's determinism contract.
+
+Runs a short ``incast_burst`` grid (traffic-model axis: smooth CBR vs a
+burst train at the same order of offered load) with observability armed
+(``observe: true`` — packet spans recording on every cell) and asserts:
+
+1. **worker invisibility** — the merged report is byte-identical at
+   workers=1 and workers=2;
+2. **resume invisibility** — a sweep killed after 1 shard and resumed
+   from its checkpoint merges byte-identically to an uninterrupted run;
+3. **backend invisibility** — the merged report is byte-identical under
+   ``REPRO_DATAPATH=packet`` and ``REPRO_DATAPATH=burst``;
+4. **the qualitative result survives** — at comparable average load the
+   burst train drives a strictly higher egress queue peak than smooth
+   CBR, and every row carries a per-flow RTT p99.9.
+
+Exits non-zero with a diagnostic on any violated expectation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.runner import ExperimentSpec, run_spec
+
+
+def fail(message: str) -> None:
+    print(f"ci_burst_smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def incast_spec() -> ExperimentSpec:
+    return ExperimentSpec.from_dict(
+        {
+            "name": "ci-burst-smoke",
+            "scenario": "incast_burst",
+            # Seed pinned in params so every cell runs the acceptance
+            # experiment's exact RNG streams; observe arms spans.
+            "params": {
+                "senders": 2,
+                "frame_size": 256,
+                "duration": "500us",
+                "observe": True,
+                "seed": 3,
+            },
+            "axes": {
+                "traffic": [
+                    {"model": "cbr", "params": {"rate": "2Gbps"}},
+                    {
+                        "model": "burst_train",
+                        "params": {
+                            "frames_per_burst": 64,
+                            "inter_burst_gap": "70us",
+                        },
+                    },
+                ]
+            },
+            "seed": 3,
+            "retries": 1,
+            "timeout_s": 120.0,
+        }
+    )
+
+
+def check_worker_invisibility() -> str:
+    serial = run_spec(incast_spec(), workers=1)
+    serial.require_ok()
+    parallel = run_spec(incast_spec(), workers=2)
+    parallel.require_ok()
+    if serial.merged_json() != parallel.merged_json():
+        fail("merged reports differ between workers=1 and workers=2")
+    print("ci_burst_smoke: workers=1 == workers=2 (byte-identical, obs armed)")
+    return serial.merged_json()
+
+
+def check_resume_invisibility(baseline: str, root: Path) -> None:
+    ckpt = str(root / "burst-ckpt")
+    partial = run_spec(incast_spec(), workers=1, checkpoint_dir=ckpt, max_shards=1)
+    if partial.complete:
+        fail("partial run unexpectedly completed all shards")
+    resumed = run_spec(incast_spec(), workers=2, checkpoint_dir=ckpt)
+    if not resumed.complete:
+        fail("resumed run did not complete")
+    if resumed.merged_json() != baseline:
+        fail("kill/resume changed the merged report")
+    print("ci_burst_smoke: kill-after-1-shard + resume is byte-identical")
+
+
+def check_backend_invisibility(baseline: str) -> None:
+    previous = os.environ.get("REPRO_DATAPATH")
+    try:
+        os.environ["REPRO_DATAPATH"] = "packet"
+        packet = run_spec(incast_spec(), workers=1)
+        packet.require_ok()
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_DATAPATH", None)
+        else:
+            os.environ["REPRO_DATAPATH"] = previous
+    if packet.merged_json() != baseline:
+        fail("merged reports differ between REPRO_DATAPATH=packet and burst")
+    print("ci_burst_smoke: packet and burst datapaths merge byte-identically")
+
+
+def check_qualitative_result(merged: str) -> None:
+    rows = [shard["result"] for shard in json.loads(merged)["shards"]]
+    by_model = {row["traffic"]: row for row in rows}
+    if len(by_model) != 2:
+        fail(f"expected 2 distinct traffic fingerprints, got {len(by_model)}")
+    cbr, train = rows  # shard order follows the axis order
+    for row in rows:
+        if row["rtt_p999_us"] is None:
+            fail("a row is missing its per-flow RTT p99.9")
+        if not row["flow_rtt_rows"]:
+            fail("a row has no per-flow RTT entries")
+    if train["queue_peak_bytes"] <= cbr["queue_peak_bytes"]:
+        fail(
+            f"burst train queue peak {train['queue_peak_bytes']}B not above "
+            f"CBR's {cbr['queue_peak_bytes']}B — burstiness had no effect"
+        )
+    print(
+        f"ci_burst_smoke: incast result holds (queue peak "
+        f"{cbr['queue_peak_bytes']}B smooth -> {train['queue_peak_bytes']}B "
+        f"bursty; p99.9 RTT {cbr['rtt_p999_us']:.1f}us -> "
+        f"{train['rtt_p999_us']:.1f}us)"
+    )
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="ci-burst-") as tmp:
+        baseline = check_worker_invisibility()
+        check_resume_invisibility(baseline, Path(tmp))
+        check_backend_invisibility(baseline)
+        check_qualitative_result(baseline)
+    print("ci_burst_smoke: OK")
+
+
+if __name__ == "__main__":
+    main()
