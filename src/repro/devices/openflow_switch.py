@@ -186,6 +186,7 @@ class OpenFlowSwitch:
         # ``table.version`` and invalidates it wholesale.
         self._dp_cache = {}
         self._dp_cache_version = -1
+        self._waves_cache = None
         # Timeout expiry scan (daemon, once a simulated second).
         self._schedule_expiry_scan()
         # A switch opens the handshake with HELLO.
@@ -195,20 +196,42 @@ class OpenFlowSwitch:
     # control plane
     # ------------------------------------------------------------------
 
+    def _wave_queues(self, waves):
+        """(firmware-queue, packet-in-queue) waveforms for this switch."""
+        cache = self._waves_cache
+        if cache is None or cache[0] is not waves:
+            cache = self._waves_cache = (
+                waves,
+                waves.series(f"{self.name}.firmware_queue", unit="msgs"),
+                waves.series(f"{self.name}.packet_in_queue", unit="jobs"),
+            )
+        return cache
+
     def _on_control_message(self, message: Message) -> None:
         self._firmware_queue.append(message)
         depth = len(self._firmware_queue) + (1 if self._firmware_busy else 0)
         if depth > self.firmware_queue_peak:
             self.firmware_queue_peak = depth
+        waves = self.sim.waves
+        if waves is not None:
+            self._wave_queues(waves)[1].record(self.sim.now, depth)
         if not self._firmware_busy:
             self._firmware_next()
 
     def _firmware_next(self) -> None:
         if not self._firmware_queue:
             self._firmware_busy = False
+            waves = self.sim.waves
+            if waves is not None:
+                self._wave_queues(waves)[1].record(self.sim.now, 0)
             return
         self._firmware_busy = True
         message = self._firmware_queue.popleft()
+        waves = self.sim.waves
+        if waves is not None:
+            self._wave_queues(waves)[1].record(
+                self.sim.now, len(self._firmware_queue) + 1
+            )
         self.sim.call_after(
             self.profile.firmware_delay_ps, self._firmware_handle, message
         )
@@ -219,6 +242,11 @@ class OpenFlowSwitch:
             # message handling — packet-in storms therefore delay
             # concurrent flow_mods (the OFLOPS interaction effect).
             self._pending_packet_ins -= 1
+            waves = self.sim.waves
+            if waves is not None:
+                self._wave_queues(waves)[2].record(
+                    self.sim.now, self._pending_packet_ins
+                )
             self._send_packet_in(message.packet, message.in_port)
         elif isinstance(message, Hello):
             pass
@@ -476,6 +504,9 @@ class OpenFlowSwitch:
             self.packet_ins_dropped += 1
             return
         self._pending_packet_ins += 1
+        waves = self.sim.waves
+        if waves is not None:
+            self._wave_queues(waves)[2].record(self.sim.now, self._pending_packet_ins)
         self._on_control_message(_PacketInJob(packet=packet, in_port=in_port))
 
     def _send_packet_in(self, packet: Packet, in_port: int) -> None:

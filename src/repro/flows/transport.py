@@ -311,6 +311,7 @@ class FlowSender:
         self.timeouts = 0
         self.record: Optional[FlowCompletion] = None
         self.start_actual_ps: Optional[int] = None
+        self._waves_cache = None
 
         # Foreground on purpose: a pending RTO must keep an open-ended
         # sim.run() alive, otherwise in-flight flows would be abandoned.
@@ -322,6 +323,24 @@ class FlowSender:
         self.start_actual_ps = self.sim.now
         self._fill_window()
         self._rearm_timer()
+        self._wave_probe()
+
+    def _wave_probe(self) -> None:
+        """Record cwnd and flight size when a waveform recorder is armed."""
+        waves = self.sim.waves
+        if waves is None:
+            return
+        cache = self._waves_cache
+        if cache is None or cache[0] is not waves:
+            flow_id = self.flow.flow_id
+            cache = self._waves_cache = (
+                waves,
+                waves.series(f"flow.{flow_id}.cwnd", unit="segments"),
+                waves.series(f"flow.{flow_id}.flight_bytes", unit="bytes"),
+            )
+        now = self.sim.now
+        cache[1].record(now, self.cwnd)
+        cache[2].record(now, self.snd_nxt - self.snd_una)
 
     def _fill_window(self) -> None:
         window_bytes = int(self.cwnd) * self.cfg.mss
@@ -364,6 +383,8 @@ class FlowSender:
             self._on_new_ack(ack)
         elif ack == self.snd_una and self.snd_nxt > self.snd_una:
             self._on_dup_ack()
+        if self.record is None:
+            self._wave_probe()
 
     def _on_new_ack(self, ack: int) -> None:
         newly_acked = ack - self.snd_una
@@ -465,6 +486,7 @@ class FlowSender:
         self._transmit(self.snd_una, length, retransmit=True)
         self.snd_nxt = self.snd_una + length
         self._rearm_timer()
+        self._wave_probe()
 
     # -- completion ----------------------------------------------------------
 

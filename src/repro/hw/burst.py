@@ -15,7 +15,11 @@ Full :class:`~repro.net.packet.Packet` objects are never materialized on
 an eligible lane; observation points that need them (capture buffers,
 spans, tracers, filters, fault hooks) make a lane ineligible and it
 falls back to the stock per-packet path, so results stay bit-identical
-by construction (proven by tests/test_datapath_equivalence.py).
+by construction (proven by tests/test_datapath_equivalence.py). The one
+observation plane that stays on the fast path is the waveform recorder
+(``sim.waves``): it needs only scalar state, so eligible lanes feed it
+closed-form runs that reproduce the per-packet probes' sample streams
+bit-identically (also proven by the equivalence tests).
 
 Selection follows the ``REPRO_EVENT_QUEUE`` precedent: the
 ``REPRO_DATAPATH`` environment variable or the ``datapath=`` argument
@@ -173,6 +177,29 @@ class BurstLane:
         self.finished = False
         self.pending_finish_at: Optional[int] = None
         self.tx = None
+        self._waves_cache = None
+
+    def _waves(self):
+        """Waveform handles, or None while no recorder is armed.
+
+        An armed :class:`repro.telemetry.WaveformRecorder` (``sim.waves``)
+        deliberately does NOT appear in the eligibility audit: unlike
+        spans and tracers it needs no materialized packets, so the lane
+        stays on the closed-form path and reconstructs the exact
+        per-packet sample streams from parked scalar state below.
+        """
+        waves = self.sim.waves
+        if waves is None:
+            return None
+        cache = self._waves_cache
+        if cache is None or cache[0] is not waves:
+            cache = self._waves_cache = (
+                waves,
+                waves.series(f"{self.tx.name}.fifo_bytes", unit="bytes"),
+                waves.rate_series(f"{self.tx.name}.wire_bytes", unit="bytes"),
+                waves.rate_series(f"{self.rx.name}.wire_bytes", unit="bytes"),
+            )
+        return cache
 
     # -- eligibility -------------------------------------------------------
 
@@ -409,6 +436,7 @@ class BurstLane:
         fifo = self.fifo
         gen_stats = self.engine.stats
         tx_sizes = self.engine.tx_sizes
+        waves = self._waves()
         while w < limit:
             if (max_count is not None and index >= max_count) or (
                 deadline is not None and w >= deadline
@@ -425,6 +453,8 @@ class BurstLane:
                 fifo.enqueued += 1
                 if occ > fifo.peak_occupancy_bytes:
                     fifo.peak_occupancy_bytes = occ
+                if waves is not None:
+                    waves[1].record(w, occ)
                 gen_stats.sent += 1
                 gen_stats.sent_bytes += flen
                 tx_sizes.record(flen)
@@ -471,6 +501,13 @@ class BurstLane:
             if txs.first_activity_ps is None:
                 txs.first_activity_ps = w
             txs.last_activity_ps = s_last
+            waves = self._waves()
+            if waves is not None:
+                # Per frame the packet path pushes (occupancy flen) and
+                # immediately pops back to 0 at the same instant, and
+                # clocks one wire-slot of bytes at the start time.
+                waves[1].record_toggle_run(w, n, gap, flen, 0)
+                waves[2].record_run(w, n, gap, self.fwb)
             self.clear = clear = s_last + self.slot
             if clear > self.last_event_time:
                 self.last_event_time = clear
@@ -547,11 +584,15 @@ class BurstLane:
             dconst = self.dconst
             t0 = self.train_t0
             parked = self.parked
+            waves = self._waves()
             for burst in range(i // n, last // n + 1):
                 lo = max(i, burst * n)
                 hi = min(last, burst * n + n - 1)
-                d0 = t0 + burst * period + (lo - burst * n) * intra + dconst
-                parked.append((d0, hi - lo + 1, intra))
+                s0 = t0 + burst * period + (lo - burst * n) * intra
+                if waves is not None:
+                    waves[1].record_toggle_run(s0, hi - lo + 1, intra, flen, 0)
+                    waves[2].record_run(s0, hi - lo + 1, intra, self.fwb)
+                parked.append((s0 + dconst, hi - lo + 1, intra))
             d_last = s_last + dconst
             if d_last > self.last_event_time:
                 self.last_event_time = d_last
@@ -577,6 +618,7 @@ class BurstLane:
         fwb = self.fwb
         dconst = self.dconst
         parked = self.parked
+        waves = self._waves()
         while backlog:
             push = backlog[0]
             s = push if (clear is None or clear <= push) else clear
@@ -591,6 +633,9 @@ class BurstLane:
                 stats.first_activity_ps = s
             stats.last_activity_ps = s
             stats.busy_ps += slot
+            if waves is not None:
+                waves[1].record(s, self.occupancy)
+                waves[2].record(s, fwb)
             clear = s + slot
             parked.append((s + dconst, 1, 0))
         self.clear = clear
@@ -620,6 +665,9 @@ class BurstLane:
     def _apply_rx(self, d0: int, m: int, stride: int) -> None:
         flen = self.flen
         last = d0 + (m - 1) * stride
+        waves = self._waves()
+        if waves is not None:
+            waves[3].record_run(d0, m, stride, self.fwb)
         rxs = self.rx.stats
         rxs.packets += m
         rxs.bytes += m * flen

@@ -69,6 +69,17 @@ class DmaEngine:
         #: instant, and an optional clamp on the usable ring depth.
         self._stalled_until = 0
         self._slot_clamp: Optional[int] = None
+        self._waves_cache = None
+
+    def _wave_ring(self, waves):
+        """The ring-depth waveform under the armed recorder."""
+        cache = self._waves_cache
+        if cache is None or cache[0] is not waves:
+            cache = self._waves_cache = (
+                waves,
+                waves.series(f"{self.name}.ring_depth", unit="slots").record,
+            )
+        return cache[1]
 
     def register_metrics(self, registry, prefix: str) -> None:
         """Publish the DMA's counters and ring state as pull gauges."""
@@ -134,6 +145,13 @@ class DmaEngine:
         self._ring.append(packet)
         if len(self._ring) > self.stats.peak_ring_occupancy:
             self.stats.peak_ring_occupancy = len(self._ring)
+        waves = self.sim.waves
+        if waves is not None:
+            cache = self._waves_cache
+            if cache is None or cache[0] is not waves:
+                self._wave_ring(waves)
+                cache = self._waves_cache
+            cache[1](self.sim.now, len(self._ring))
         if not self._busy:
             self._start_next()
         return True
@@ -163,6 +181,13 @@ class DmaEngine:
         nbytes = self._transfer_bytes(packet)
         self.stats.delivered += 1
         self.stats.delivered_bytes += nbytes
+        waves = self.sim.waves
+        if waves is not None:
+            cache = self._waves_cache
+            if cache is None or cache[0] is not waves:
+                self._wave_ring(waves)
+                cache = self._waves_cache
+            cache[1](self.sim.now, len(self._ring))
         tracer = self.sim.tracer
         if tracer is not None:
             tracer.instant(

@@ -95,6 +95,9 @@ class TxMac:
         #: Foreign enqueues would corrupt that emulation, so they fail
         #: loudly instead of silently interleaving.
         self._burst_lane = None
+        #: (recorder, fifo waveform, wire-rate waveform) cache — rebuilt
+        #: when a different WaveformRecorder is armed on the simulator.
+        self._waves_cache = None
 
     def attach_delivery(self, deliver: Callable[[Packet], None], propagation_ps: int) -> None:
         self._deliver = deliver
@@ -117,9 +120,31 @@ class TxMac:
         if not self.fifo.push(packet):
             self.stats.drops_overflow += 1
             return False
+        waves = self.sim.waves
+        if waves is not None:
+            cache = self._waves_cache
+            if cache is None or cache[0] is not waves:
+                cache = self._wave_series(waves)
+            cache[1](self.sim.now, self.fifo.occupancy_bytes)
         if not self._busy:
             self._start_next()
         return True
+
+    def _wave_series(self, waves):
+        """This MAC's waveform probes under the armed recorder.
+
+        Caches *bound* ``record`` methods: the probes fire per frame,
+        so the attribute lookups are paid once per recorder, not once
+        per packet.
+        """
+        cache = self._waves_cache
+        if cache is None or cache[0] is not waves:
+            cache = self._waves_cache = (
+                waves,
+                waves.series(f"{self.name}.fifo_bytes", unit="bytes").record,
+                waves.rate_series(f"{self.name}.wire_bytes", unit="bytes").record,
+            )
+        return cache
 
     def _start_next(self) -> None:
         packet = self.fifo.pop()
@@ -134,10 +159,18 @@ class TxMac:
         # gates when the *next* frame may start.
         preamble_and_frame = ETH_PREAMBLE_BYTES + max(frame_len, 64)
         serialize_ps = wire_time_ps(preamble_and_frame, self.rate_bps)
-        slot_ps = wire_time_ps(frame_wire_bytes(frame_len), self.rate_bps)
+        wire_bytes = frame_wire_bytes(frame_len)
+        slot_ps = wire_time_ps(wire_bytes, self.rate_bps)
         now = self.sim.now
         self.stats.note(now, frame_len)
         self.stats.busy_ps += slot_ps
+        waves = self.sim.waves
+        if waves is not None:
+            cache = self._waves_cache
+            if cache is None or cache[0] is not waves:
+                cache = self._wave_series(waves)
+            cache[1](now, self.fifo.occupancy_bytes)
+            cache[2](now, wire_bytes)
         tracer = self.sim.tracer
         if tracer is not None:
             tracer.instant(now, "packet", "tx", {"mac": self.name, "bytes": frame_len})
@@ -161,13 +194,24 @@ class RxMac:
         self.name = name
         self.stats = MacStats()
         self._sinks: List[Callable[[Packet], None]] = []
+        self._waves_cache = None
 
     def add_sink(self, sink: Callable[[Packet], None]) -> None:
         """Register a callback invoked at last-bit arrival of each frame."""
         self._sinks.append(sink)
 
     def receive(self, packet: Packet) -> None:
-        self.stats.note(self.sim.now, packet.frame_length)
+        now = self.sim.now
+        self.stats.note(now, packet.frame_length)
+        waves = self.sim.waves
+        if waves is not None:
+            cache = self._waves_cache
+            if cache is None or cache[0] is not waves:
+                cache = self._waves_cache = (
+                    waves,
+                    waves.rate_series(f"{self.name}.wire_bytes", unit="bytes").record,
+                )
+            cache[1](now, frame_wire_bytes(packet.frame_length))
         tracer = self.sim.tracer
         if tracer is not None:
             tracer.instant(

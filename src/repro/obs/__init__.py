@@ -52,12 +52,14 @@ def observe_simulators(
     spans: Optional[SpanRecorder] = None,
     profiler: Optional[SimProfiler] = None,
     tracer=None,
+    waves=None,
 ):
     """Arm observability on every Simulator created inside the block.
 
     Each new simulator gets the given :class:`SpanRecorder` /
-    :class:`SimProfiler` / tracer attached at construction time (the
-    recorder and profiler move to the newest one; their recorded data
+    :class:`SimProfiler` / tracer / waveform recorder
+    (:class:`repro.telemetry.WaveformRecorder`) attached at construction
+    time (recorders move to the newest one; their recorded data
     accumulates). On exit the hook is removed and the recorders are
     detached. Yields the ``(spans, profiler)`` pair for convenience.
     """
@@ -69,6 +71,8 @@ def observe_simulators(
             spans.arm(sim)
         if profiler is not None:
             profiler.attach(sim)
+        if waves is not None:
+            waves.arm(sim)
 
     _kernel.add_creation_hook(hook)
     try:
@@ -79,6 +83,8 @@ def observe_simulators(
             spans.disarm()
         if profiler is not None and profiler.attached:
             profiler.detach()
+        if waves is not None:
+            waves.disarm()
 
 
 __all__ = [

@@ -267,14 +267,25 @@ def render_progress(
     total: int,
     statuses: Dict[int, Dict[str, Any]],
     elapsed_s: float,
+    cached: int = 0,
 ) -> str:
-    """One live progress/ETA line from the tailer's poll output."""
+    """One live progress/ETA line from the tailer's poll output.
+
+    ``cached`` counts shards served instantly from the result store
+    (PR 6). They complete in ~0s, so including them in the per-shard
+    rate makes the ETA collapse toward zero on warm-cache sweeps; the
+    estimate uses freshly executed shards only. Remaining shards are
+    assumed fresh — a pessimistic ETA that corrects itself as further
+    cache hits land.
+    """
     finished = done + failed
-    if finished > 0 and total > finished and elapsed_s > 0:
-        eta = elapsed_s / finished * (total - finished)
+    fresh = finished - cached
+    if fresh > 0 and total > finished and elapsed_s > 0:
+        eta = elapsed_s / fresh * (total - finished)
         eta_text = f", eta {eta:.0f}s"
     else:
         eta_text = ""
+    cached_text = f", {cached} cached" if cached else ""
     running = len(statuses)
     stalled = sorted(s["shard"] for s in statuses.values() if s["stalled"])
     stall_text = f", STALLED: {stalled}" if stalled else ""
@@ -285,6 +296,6 @@ def render_progress(
     ]
     sim_text = f" [{' '.join(sim_parts)}]" if sim_parts else ""
     return (
-        f"sweep: {finished}/{total} done ({failed} failed), "
+        f"sweep: {finished}/{total} done ({failed} failed){cached_text}, "
         f"{running} running{sim_text}, {elapsed_s:.0f}s elapsed{eta_text}{stall_text}"
     )

@@ -94,13 +94,14 @@ class OflopsContext:
 
         return snapshot_to_openmetrics(self.snapshot(), prefix="oflops")
 
-    def arm_observability(self, spans=None, profiler=None, tracer=None):
+    def arm_observability(self, spans=None, profiler=None, tracer=None, waves=None):
         """Attach observability hooks to this context's simulator.
 
         Any of a :class:`~repro.obs.SpanRecorder`, a
-        :class:`~repro.obs.SimProfiler` and a
-        :class:`~repro.telemetry.Tracer` may be passed; whichever are
-        given get armed on ``self.sim``, and the tuple
+        :class:`~repro.obs.SimProfiler`, a
+        :class:`~repro.telemetry.Tracer` and a
+        :class:`~repro.telemetry.WaveformRecorder` may be passed;
+        whichever are given get armed on ``self.sim``, and the tuple
         ``(spans, profiler, tracer)`` is returned for chaining.
         """
         if tracer is not None:
@@ -109,6 +110,8 @@ class OflopsContext:
             spans.arm(self.sim)
         if profiler is not None:
             profiler.attach(self.sim)
+        if waves is not None:
+            waves.arm(self.sim)
         return spans, profiler, tracer
 
     @property

@@ -11,6 +11,10 @@ prints the stats the hardware counters would show.
 ``osnt-telemetry`` — run a timestamped loopback workload with the full
 telemetry stack armed and emit the card snapshot as JSON (optionally
 CSV and a Chrome ``trace_event`` file).
+
+``osnt-telemetry timeline`` — run a workload with the sim-time waveform
+recorder armed and export the queue/utilization timelines as CSV,
+JSONL, Chrome counter tracks or OpenMetrics last-value gauges.
 """
 
 from __future__ import annotations
@@ -210,11 +214,16 @@ def mon_main(argv: Optional[List[str]] = None) -> int:
 
 
 def telemetry_main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "timeline":
+        return timeline_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="osnt-telemetry",
         description=(
             "run a timestamped loopback workload with telemetry armed and "
-            "dump the card snapshot (JSON to stdout by default)"
+            "dump the card snapshot (JSON to stdout by default); see the "
+            "'timeline' subcommand for sim-time waveform exports"
         ),
     )
     parser.add_argument("--frame-size", type=int, default=256, help="wire bytes incl. FCS")
@@ -233,6 +242,12 @@ def telemetry_main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--trace-capacity", type=int, default=1 << 16, help="trace ring-buffer slots"
+    )
+    parser.add_argument(
+        "--trace-counters", action="store_true",
+        help="also render the metrics-card counters as Chrome counter "
+        "tracks in the --trace file (opt-in: default traces stay "
+        "byte-identical)",
     )
     parser.add_argument(
         "--histograms", action="store_true",
@@ -294,7 +309,8 @@ def telemetry_main(argv: Optional[List[str]] = None) -> int:
         write_snapshot_csv(args.csv, snapshot)
         print(f"wrote metrics CSV to {args.csv}", file=sys.stderr)
     if tracer is not None:
-        written = write_chrome_trace(args.trace, tracer)
+        registry = tester.metrics if args.trace_counters else None
+        written = write_chrome_trace(args.trace, tracer, registry=registry)
         print(
             f"wrote {written} trace events to {args.trace} "
             f"({tracer.evicted} evicted)",
@@ -304,6 +320,144 @@ def telemetry_main(argv: Optional[List[str]] = None) -> int:
         from .dashboard import render_status
 
         print(render_status(tester), file=sys.stderr)
+    return 0
+
+
+def timeline_main(argv: Optional[List[str]] = None) -> int:
+    """``osnt-telemetry timeline``: sim-time waveform export."""
+    parser = argparse.ArgumentParser(
+        prog="osnt-telemetry timeline",
+        description=(
+            "run a workload with the deterministic waveform recorder armed "
+            "and export (sim_time, value) timelines: FIFO occupancy, DMA "
+            "ring depth, switch queues, per-link utilization"
+        ),
+    )
+    parser.add_argument(
+        "--scenario", choices=("loopback", "incast"), default="loopback",
+        help="loopback: OSNT tester p0->p1 with capture+DMA; incast: "
+        "synchronized burst trains converging on one legacy-switch egress",
+    )
+    parser.add_argument("--frame-size", type=int, default=256, help="wire bytes incl. FCS")
+    parser.add_argument("--rate", default="5Gbps", help="loopback target rate")
+    parser.add_argument("--duration-ms", type=float, default=1.0, help="simulated run length")
+    parser.add_argument("--senders", type=int, default=3, help="incast senders (1-3)")
+    parser.add_argument("--seed", type=int, default=0, help="incast template/switch seed")
+    parser.add_argument(
+        "--keep-every", type=int, default=1, metavar="K",
+        help="decimation: collapse each K committed points to a min/max/"
+        "last envelope (1 = keep every state change)",
+    )
+    parser.add_argument(
+        "--capacity", type=int, default=1 << 14, help="retained points per series"
+    )
+    parser.add_argument(
+        "--window-us", type=float, default=10.0,
+        help="utilization window for *.wire_bytes rate series, simulated µs",
+    )
+    parser.add_argument("--csv", metavar="FILE", help="write series,time_ps,value CSV")
+    parser.add_argument("--jsonl", metavar="FILE", help="write one point per JSON line")
+    parser.add_argument(
+        "--trace", metavar="FILE",
+        help="write the waveforms as Chrome trace_event counter tracks",
+    )
+    parser.add_argument(
+        "--openmetrics", metavar="FILE",
+        help="write last-value gauges as an OpenMetrics exposition",
+    )
+    parser.add_argument(
+        "--digest-only", action="store_true",
+        help="print only the recorder digest (for determinism checks)",
+    )
+    args = parser.parse_args(argv)
+
+    from ..obs import observe_simulators
+    from ..telemetry import WaveformRecorder
+    from ..units import us
+
+    recorder = WaveformRecorder(
+        capacity=args.capacity,
+        keep_every=args.keep_every,
+        window_ps=max(1, int(us(args.window_us))),
+    )
+    if args.scenario == "incast":
+        from ..testbed.attacks import incast_burst_point
+
+        with observe_simulators(waves=recorder):
+            row, __ = incast_burst_point(
+                senders=args.senders,
+                frame_size=args.frame_size,
+                duration_ps=int(ms(args.duration_ms)),
+                seed=args.seed,
+            )
+        headline = (
+            f"incast: {row.sent} sent, {row.received} received, "
+            f"queue peak {row.queue_peak_bytes} B, "
+            f"{row.egress_drops} egress drops"
+        )
+    else:
+        with observe_simulators(waves=recorder):
+            sim = Simulator()
+            tester = OSNT(sim)
+            connect(tester.port(0), tester.port(1))
+            monitor = tester.monitor(1)
+            monitor.start_capture()
+            generator = tester.generator(0)
+            generator.load_template(build_udp(frame_size=args.frame_size))
+            generator.set_rate(parse_rate(args.rate))
+            generator.embed_timestamps()
+            generator.for_duration(ms(args.duration_ms))
+            generator.start()
+            sim.run()
+        headline = (
+            f"loopback: {generator.packets_sent} sent, "
+            f"{monitor.captured_count} captured"
+        )
+
+    digest = recorder.digest()
+    if args.digest_only:
+        print(digest)
+    else:
+        rows = []
+        for name in recorder.names():
+            wf = recorder.get(name)
+            points = wf.points()
+            values = [v for __, v in points]
+            rows.append(
+                [
+                    name,
+                    wf.recorded,
+                    len(points),
+                    wf.evicted,
+                    min(values) if values else "",
+                    max(values) if values else "",
+                ]
+            )
+        print(
+            format_table(
+                ["series", "samples", "points", "evicted", "min", "max"],
+                rows,
+                title=f"osnt-telemetry timeline ({headline})",
+            )
+        )
+        print(f"waveform digest: {digest}")
+    if args.csv:
+        points = recorder.write_csv(args.csv)
+        print(f"wrote {points} points to {args.csv}", file=sys.stderr)
+    if args.jsonl:
+        points = recorder.write_jsonl(args.jsonl)
+        print(f"wrote {points} points to {args.jsonl}", file=sys.stderr)
+    if args.trace:
+        from ..telemetry import write_chrome_trace
+
+        written = write_chrome_trace(args.trace, None, waves=recorder)
+        print(f"wrote {written} counter events to {args.trace}", file=sys.stderr)
+    if args.openmetrics:
+        from ..telemetry import snapshot_to_openmetrics
+
+        with open(args.openmetrics, "w") as handle:
+            handle.write(snapshot_to_openmetrics(recorder.gauges(), prefix="osnt"))
+        print(f"wrote gauges to {args.openmetrics}", file=sys.stderr)
     return 0
 
 

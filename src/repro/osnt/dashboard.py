@@ -67,6 +67,7 @@ def render_status(tester: OSNT) -> str:
                 rx_stats.drops_overflow,
                 _format_percentile(latency.p50),
                 _format_percentile(latency.p99),
+                _format_percentile(latency.p999),
                 "on" if monitor.enabled else "off",
             ]
         )
@@ -75,7 +76,7 @@ def render_status(tester: OSNT) -> str:
             [
                 "port", "link", "tx pkts", "tx rate", "rx pkts", "rx rate",
                 "captured", "drops", "inj", "ovf", "p50 µs", "p99 µs",
-                "capture",
+                "p999 µs", "capture",
             ],
             rows,
         )

@@ -537,9 +537,17 @@ class SweepRunner:
                 failed = sum(
                     1 for r in records.values() if r.status == STATUS_FAILED
                 )
+                # Cache hits finish in ~0s; keep them out of the ETA's
+                # per-shard rate (render_progress excludes them).
+                cached = sum(1 for r in records.values() if r.ok and r.cached)
                 self.on_progress(
                     render_progress(
-                        done, failed, total, statuses, now - sweep_started
+                        done,
+                        failed,
+                        total,
+                        statuses,
+                        now - sweep_started,
+                        cached=cached,
                     )
                 )
 

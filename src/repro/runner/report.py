@@ -193,6 +193,30 @@ class SweepReport:
                 _merge_numeric(total, telemetry)
         return total
 
+    def merged_waveforms(self) -> Dict[str, Any]:
+        """Per-shard waveform digests plus one combined digest.
+
+        Scenarios run with ``params={"waveforms": true}`` report their
+        :meth:`~repro.telemetry.WaveformRecorder.digest` under the
+        ``"waveform_digest"`` result key. Shard digests are deterministic
+        and shard order is fixed by the spec, so the combined SHA-256 is
+        byte-identical at any worker count and across kill-and-resume —
+        one string proves a whole sweep's timelines reproduced.
+        """
+        import hashlib
+
+        shard_digests: Dict[str, str] = {}
+        for s in self.ok:
+            digest = (s.result or {}).get("waveform_digest")
+            if digest is not None:
+                shard_digests[str(s.index)] = digest
+        combined = (
+            hashlib.sha256(canonical_json(shard_digests).encode()).hexdigest()
+            if shard_digests
+            else None
+        )
+        return {"combined_digest": combined, "shards": shard_digests}
+
     # -- human output -------------------------------------------------------
 
     def summary(self) -> str:

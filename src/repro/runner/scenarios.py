@@ -344,6 +344,7 @@ def _syn_flood_flowmod(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
         deadline_ps=None if deadline is None else duration_ps(deadline),
         observe=bool(params.get("observe", False)),
         telemetry=bool(params.get("telemetry", False)),
+        waveforms=bool(params.get("waveforms", False)),
     )
     return _rowdict(row, extras)
 
@@ -365,6 +366,7 @@ def _incast_burst(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
         switch_seed=params.get("switch_seed", 1),
         observe=bool(params.get("observe", False)),
         telemetry=bool(params.get("telemetry", False)),
+        waveforms=bool(params.get("waveforms", False)),
     )
     out = _rowdict(row, extras)
     out["delivery_fraction"] = row.delivery_fraction

@@ -93,6 +93,12 @@ class Simulator:
         #: components read this directly (``spans = sim.spans``) so the
         #: disarmed datapath pays one attribute load + None check.
         self.spans: Optional[Any] = None
+        #: Armed :class:`repro.telemetry.WaveformRecorder`, or None.
+        #: Same pattern as ``spans``: probe sites read ``sim.waves`` and
+        #: skip on None. Unlike spans/tracers, an armed recorder keeps
+        #: burst-datapath lanes eligible — burst lanes feed the same
+        #: series closed-form (see :mod:`repro.hw.burst`).
+        self.waves: Optional[Any] = None
         #: Number of attached closed-loop traffic sources (flow
         #: transports — see :mod:`repro.flows`). The burst-datapath
         #: eligibility audit reads this: closed-loop traffic reacts to

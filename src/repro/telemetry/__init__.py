@@ -11,6 +11,10 @@ CLI, benchmarks and OFLOPS modules:
   milestones), exportable as Chrome ``trace_event`` JSON;
 * :class:`MetricsRegistry` — named counters/gauges/histograms with
   deterministic ``snapshot()`` semantics; one call reads the whole card;
+* :class:`WaveformRecorder` — deterministic sim-time waveforms (queue
+  occupancy, cwnd, windowed utilization) sampled on state change, with
+  min/max-envelope decimation, Chrome counter tracks and CSV/JSONL
+  timelines (see :mod:`~repro.telemetry.timeseries`);
 * :mod:`~repro.telemetry.export` — JSON/CSV snapshot serialization and
   Chrome trace files;
 * :mod:`~repro.telemetry.openmetrics` — OpenMetrics text exposition of
@@ -44,19 +48,33 @@ from .openmetrics import (
     snapshot_to_openmetrics,
     write_openmetrics,
 )
+from .timeseries import (
+    DEFAULT_KEEP_EVERY,
+    DEFAULT_UTIL_WINDOW_PS,
+    DEFAULT_WAVEFORM_CAPACITY,
+    RateWaveform,
+    Waveform,
+    WaveformRecorder,
+)
 from .trace import DEFAULT_CAPACITY, TraceBuffer, Tracer, resolve_tracer
 
 __all__ = [
     "Counter",
     "DEFAULT_CAPACITY",
+    "DEFAULT_KEEP_EVERY",
     "DEFAULT_SUBBUCKET_BITS",
+    "DEFAULT_UTIL_WINDOW_PS",
+    "DEFAULT_WAVEFORM_CAPACITY",
     "Gauge",
     "HistogramBank",
     "HistogramSummary",
     "LogLinearHistogram",
     "MetricsRegistry",
+    "RateWaveform",
     "TraceBuffer",
     "Tracer",
+    "Waveform",
+    "WaveformRecorder",
     "chrome_trace",
     "chrome_trace_json",
     "flatten_snapshot",

@@ -75,7 +75,9 @@ def registry_histograms_to_dict(registry: MetricsRegistry) -> Dict[str, Any]:
 # -- Chrome traces -----------------------------------------------------------
 
 
-def chrome_trace(tracer: Tracer, span_recorder=None) -> Dict[str, Any]:
+def chrome_trace(
+    tracer: Tracer, span_recorder=None, waves=None, registry=None
+) -> Dict[str, Any]:
     """The tracer's buffer as a Chrome trace document (object form).
 
     The object form (``{"traceEvents": [...]}``) is what the trace
@@ -86,13 +88,28 @@ def chrome_trace(tracer: Tracer, span_recorder=None) -> Dict[str, Any]:
     packet-lifecycle spans into the same document: each span renders as
     its own begin/end track beside the tracer's instants, so causal
     packet stories and kernel events load in one Perfetto view.
+
+    ``waves`` (a :class:`repro.telemetry.WaveformRecorder`) merges its
+    sim-time waveforms as counter ("C"-phase) tracks — queue depths and
+    utilization plotted under the spans that caused them. ``registry``
+    (a :class:`MetricsRegistry`) opts in to one counter event per flat
+    numeric snapshot metric, placed at the trace's final timestamp so
+    end-of-run totals show as terminal counter values. Both default to
+    off, leaving existing trace documents byte-identical.
+
+    ``tracer`` may be None when exporting waveform/metric tracks alone
+    (the ``osnt-telemetry timeline`` path).
     """
-    events = tracer.chrome_events()
-    other: Dict[str, Any] = {
-        "recorded": tracer.recorded,
-        "evicted": tracer.evicted,
-        "capacity": tracer.capacity,
-    }
+    if tracer is not None:
+        events = tracer.chrome_events()
+        other: Dict[str, Any] = {
+            "recorded": tracer.recorded,
+            "evicted": tracer.evicted,
+            "capacity": tracer.capacity,
+        }
+    else:
+        events = []
+        other = {}
     if span_recorder is not None:
         events = events + span_recorder.chrome_events()
         other["spans"] = {
@@ -100,6 +117,28 @@ def chrome_trace(tracer: Tracer, span_recorder=None) -> Dict[str, Any]:
             "evicted": span_recorder.evicted,
             "stamp_matches": span_recorder.stamp_matches,
         }
+    if waves is not None:
+        events = events + waves.chrome_events()
+        other["waveforms"] = waves.counts()
+    if registry is not None:
+        end_ts = max((event["ts"] for event in events), default=0.0)
+        emitted = 0
+        for name, value in sorted(flatten_snapshot(registry.snapshot()).items()):
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            events.append(
+                {
+                    "name": name,
+                    "cat": "metric",
+                    "ph": "C",
+                    "ts": end_ts,
+                    "pid": 0,
+                    "tid": 0,
+                    "args": {"value": value},
+                }
+            )
+            emitted += 1
+        other["metrics"] = {"count": emitted}
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -107,13 +146,22 @@ def chrome_trace(tracer: Tracer, span_recorder=None) -> Dict[str, Any]:
     }
 
 
-def chrome_trace_json(tracer: Tracer, indent: int = None, span_recorder=None) -> str:
+def chrome_trace_json(
+    tracer: Tracer, indent: int = None, span_recorder=None, waves=None, registry=None
+) -> str:
     """The Chrome trace document serialized to a JSON string."""
-    return json.dumps(chrome_trace(tracer, span_recorder=span_recorder), indent=indent)
+    return json.dumps(
+        chrome_trace(tracer, span_recorder=span_recorder, waves=waves, registry=registry),
+        indent=indent,
+    )
 
 
-def write_chrome_trace(path: PathLike, tracer: Tracer, span_recorder=None) -> int:
+def write_chrome_trace(
+    path: PathLike, tracer: Tracer, span_recorder=None, waves=None, registry=None
+) -> int:
     """Write the trace JSON; returns the number of events written."""
-    document = chrome_trace(tracer, span_recorder=span_recorder)
+    document = chrome_trace(
+        tracer, span_recorder=span_recorder, waves=waves, registry=registry
+    )
     Path(path).write_text(json.dumps(document))
     return len(document["traceEvents"])

@@ -61,6 +61,27 @@ def _arm_obs(sim: Simulator, observe: bool) -> None:
         SpanRecorder().arm(sim)
 
 
+def _arm_waves(sim: Simulator, waveforms: bool):
+    """Optionally arm a waveform recorder; returns it (or None).
+
+    Recording is non-perturbing, so the scenario's row is bit-identical
+    with or without it; the recorder's digest and per-series summary
+    land in the extras for sweep-wide folding.
+    """
+    if not waveforms:
+        return None
+    from ..telemetry import WaveformRecorder
+
+    return WaveformRecorder().arm(sim)
+
+
+def _wave_extras(extras: Extras, recorder) -> None:
+    if recorder is not None:
+        summary = recorder.summary()
+        extras["waveform_digest"] = summary["digest"]
+        extras["waveforms"] = summary["series"]
+
+
 def _traffic_spec(traffic) -> TrafficModelSpec:
     spec = TrafficModelSpec.from_any(traffic)
     return spec if spec is not None else TrafficModelSpec.from_dict(DEFAULT_TRAFFIC)
@@ -124,6 +145,7 @@ def syn_flood_flowmod_point(
     deadline_ps: Optional[int] = None,
     observe: bool = False,
     telemetry: bool = False,
+    waveforms: bool = False,
 ) -> Tuple[SynFloodRow, Extras]:
     """One A1 point: flow_mod latency while SYN churn floods the firmware.
 
@@ -139,6 +161,7 @@ def syn_flood_flowmod_point(
 
     sim = Simulator()
     _arm_obs(sim, observe)
+    waves = _arm_waves(sim, waveforms)
     spec = _traffic_spec(traffic)
     profile = SwitchProfile(
         firmware_delay_ps=firmware_delay_ps,
@@ -263,6 +286,7 @@ def syn_flood_flowmod_point(
         extras["telemetry"] = bed.tester.snapshot()
     if injector is not None:
         extras["fault_timeline_digest"] = injector.timeline_digest()
+    _wave_extras(extras, waves)
     return row, extras
 
 
@@ -306,6 +330,7 @@ def incast_burst_point(
     switch_seed: int = 1,
     observe: bool = False,
     telemetry: bool = False,
+    waveforms: bool = False,
 ) -> Tuple[IncastRow, Extras]:
     """One A2 point: ``senders`` burst trains converge on one egress.
 
@@ -323,6 +348,7 @@ def incast_burst_point(
         raise ConfigError(f"senders must be 1..{len(_SENDER_PORTS)}")
     sim = Simulator()
     _arm_obs(sim, observe)
+    waves = _arm_waves(sim, waveforms)
     spec = _traffic_spec(traffic)
     kwargs = dict(switch_kwargs or {})
     kwargs.setdefault("buffer_bytes_per_port", buffer_bytes)
@@ -367,6 +393,7 @@ def incast_burst_point(
     extras: Extras = {}
     if telemetry:
         extras["telemetry"] = bed.tester.snapshot()
+    _wave_extras(extras, waves)
     return row, extras
 
 

@@ -418,3 +418,142 @@ class TestEscapeHatch:
     def test_unknown_impl_rejected(self):
         with pytest.raises(ConfigError):
             self._generator(datapath="simd")
+
+
+# -- waveform recording equivalence -------------------------------------
+
+
+class TestWaveformEquivalence:
+    """An armed WaveformRecorder must not disqualify the burst lanes
+    (unlike spans/capture/faults, which force the per-packet fallback):
+    the closed-form feeds at window edges must reproduce the per-packet
+    probes *bit-identically* — same points, same decimation envelopes,
+    same digest — and recording must not perturb the run itself."""
+
+    def _loopback_with_waves(self, configure, keep_every=1, capacity=1 << 14):
+        from repro.telemetry import WaveformRecorder
+
+        sim = Simulator()
+        recorder = WaveformRecorder(capacity=capacity, keep_every=keep_every)
+        recorder.arm(sim)
+        tester = OSNT(sim)
+        connect(tester.port(0), tester.port(1))
+        configure(sim, tester)
+        sim.run()
+        return (
+            _osnt_state(sim, tester),
+            recorder.to_dict(),
+            recorder.digest(),
+        )
+
+    @pytest.mark.parametrize("keep_every", [1, 4])
+    def test_line_rate_bulk_lane(self, keep_every, monkeypatch):
+        def workload():
+            def configure(sim, tester):
+                generator = tester.generator(0)
+                generator.load_template(udp_template(64))
+                generator.at_line_rate().for_duration(us(500))
+                generator.start()
+
+            return self._loopback_with_waves(configure, keep_every=keep_every)
+
+        state, series, digest = _assert_equivalent(workload, monkeypatch)
+        assert len(digest) == 64
+        fifo = series["series"]["osnt.p0.tx.fifo_bytes"]
+        assert fifo["points"]
+
+    @pytest.mark.parametrize("keep_every", [1, 4])
+    def test_burst_train_lane(self, keep_every, monkeypatch):
+        def workload():
+            def configure(sim, tester):
+                generator = tester.generator(0)
+                generator.load_template(udp_template(256))
+                generator.burst_train(8, "2us").for_duration(us(400))
+                generator.start()
+
+            return self._loopback_with_waves(configure, keep_every=keep_every)
+
+        _assert_equivalent(workload, monkeypatch)
+
+    @pytest.mark.parametrize("mean_gap", ["2us", "50ns"])
+    def test_poisson_serial_lane(self, mean_gap, monkeypatch):
+        """Random gaps use the serial emit path; hot 50ns gaps also
+        exercise the backlog-drain probes."""
+
+        def workload():
+            def configure(sim, tester):
+                generator = tester.generator(0)
+                generator.load_template(udp_template(128))
+                generator.poisson(mean_gap).for_duration(us(200))
+                generator.start()
+
+            return self._loopback_with_waves(configure)
+
+        _assert_equivalent(workload, monkeypatch)
+
+    def test_small_capacity_eviction(self, monkeypatch):
+        """Ring eviction through the closed-form feeds must land on the
+        same retained window as the per-packet probes."""
+
+        def workload():
+            def configure(sim, tester):
+                generator = tester.generator(0)
+                generator.load_template(udp_template(64))
+                generator.at_line_rate().for_duration(us(300))
+                generator.start()
+
+            return self._loopback_with_waves(configure, capacity=61, keep_every=3)
+
+        _assert_equivalent(workload, monkeypatch)
+
+    def test_fifo_waveform_peak_matches_hardware_counter(self, monkeypatch):
+        def workload():
+            def configure(sim, tester):
+                generator = tester.generator(0)
+                generator.load_template(udp_template(512))
+                generator.burst_train(16, "5us").for_duration(us(400))
+                generator.start()
+
+            return self._loopback_with_waves(configure)
+
+        state, series, __ = _assert_equivalent(workload, monkeypatch)
+        fifo_points = series["series"]["osnt.p0.tx.fifo_bytes"]["points"]
+        assert max(v for __t, v in fifo_points) == state["p0.fifo"][3]
+
+    @pytest.mark.parametrize("impl", IMPLS)
+    def test_recording_does_not_perturb(self, impl, monkeypatch):
+        """Counters with the recorder armed == counters without, on the
+        same datapath — waveforms are pure observation."""
+
+        def configure(sim, tester):
+            generator = tester.generator(0)
+            generator.load_template(udp_template(256))
+            generator.set_load(0.7).for_duration(us(300))
+            generator.start()
+
+        def bare():
+            sim = Simulator()
+            tester = OSNT(sim)
+            connect(tester.port(0), tester.port(1))
+            configure(sim, tester)
+            sim.run()
+            return _osnt_state(sim, tester)
+
+        def observed():
+            return self._loopback_with_waves(configure)[0]
+
+        assert _run(impl, bare, monkeypatch) == _run(impl, observed, monkeypatch)
+
+    def test_digest_stable_across_runs(self, monkeypatch):
+        def workload():
+            def configure(sim, tester):
+                generator = tester.generator(0)
+                generator.load_template(udp_template(128))
+                generator.set_load(0.5).for_duration(us(250))
+                generator.start()
+
+            return self._loopback_with_waves(configure, keep_every=2)[2]
+
+        first = _run("burst", workload, monkeypatch)
+        second = _run("burst", workload, monkeypatch)
+        assert first == second

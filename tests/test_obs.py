@@ -567,6 +567,22 @@ class TestFlightTailer:
         assert "STALLED: [1]" in line
         assert "s0@2.0µs" in line
         assert "eta" in line
+        assert "cached" not in line
+
+    def test_render_progress_excludes_cached_from_eta(self):
+        # 4 finished in 10s, but 3 came from the result cache in ~0s:
+        # the rate must come from the single fresh shard (10s each),
+        # not 2.5s — the warm-cache ETA-collapse bug.
+        line = render_progress(4, 0, 8, {}, 10.0, cached=3)
+        assert ", 3 cached" in line
+        assert "eta 40s" in line
+
+    def test_render_progress_all_cached_no_eta(self):
+        # Every finished shard was a cache hit: no fresh rate exists,
+        # so no ETA is shown rather than a bogus one.
+        line = render_progress(4, 0, 8, {}, 10.0, cached=4)
+        assert ", 4 cached" in line
+        assert "eta" not in line
 
 
 class TestSweepRunnerFlight:
